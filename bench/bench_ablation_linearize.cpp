@@ -1,0 +1,76 @@
+// Ablation of the linearization bit ordering (DESIGN.md §5, decision 5):
+// ALTO/BLCO interleave mode bits round-robin so that nearby linearized
+// values are nearby in *every* mode. The ablation baseline lays each mode's
+// bits out contiguously (mode-major), which degenerates to a mode-0
+// lexicographic sort. Two observable consequences:
+//   * BLCO block spans: interleaving keeps each block's coordinate range
+//     tight in all modes, shrinking the per-block delta width (compression);
+//   * MTTKRP locality: with mode-major order, only mode-0 gathers are
+//     local — the other modes' factor reads scatter across the full factor.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "formats/blco.hpp"
+
+int main() {
+  using namespace cstf;
+  std::printf("=== Ablation: interleaved vs mode-major linearization ===\n\n");
+  std::printf("%-12s %18s %18s %14s\n", "Tensor", "interleaved [b/nnz]",
+              "mode-major [b/nnz]", "delta-bit win");
+
+  for (const char* name : {"NIPS", "Uber", "NELL2", "Delicious", "NELL1"}) {
+    const DatasetAnalog data = bench::load_dataset(name);
+    const BlcoTensor inter(data.tensor, 4096, BitOrder::kInterleaved);
+    const BlcoTensor major(data.tensor, 4096, BitOrder::kModeMajor);
+    const double value_bytes =
+        static_cast<double>(data.tensor.nnz()) * sizeof(real_t);
+    const double bits_inter = 8.0 * (inter.storage_bytes() - value_bytes) /
+                              static_cast<double>(inter.nnz());
+    const double bits_major = 8.0 * (major.storage_bytes() - value_bytes) /
+                              static_cast<double>(major.nnz());
+    std::printf("%-12s %18.1f %18.1f %13.2fx\n", name, bits_inter, bits_major,
+                bits_major / bits_inter);
+  }
+  // The Table-2 analogs scatter their skewed indices uniformly (hash mixing
+  // in the generator), which is locality-neutral: both orderings compress
+  // about equally above. Real tensors cluster (communities, co-occurring
+  // tags); a clustered synthetic shows where interleaving wins.
+  {
+    Rng rng(77);
+    SparseTensor clustered({1 << 14, 1 << 14, 1 << 14});
+    index_t coords[3];
+    for (int cluster = 0; cluster < 200; ++cluster) {
+      index_t center[3];
+      for (auto& c : center) {
+        c = static_cast<index_t>(rng.uniform_index((1 << 14) - 256));
+      }
+      for (int k = 0; k < 300; ++k) {
+        for (int m = 0; m < 3; ++m) {
+          coords[m] = center[m] + static_cast<index_t>(rng.uniform_index(256));
+        }
+        clustered.append(coords, 1.0);
+      }
+    }
+    clustered.sort_by_mode(0);
+    clustered.dedup_sum();
+    const BlcoTensor inter(clustered, 256, BitOrder::kInterleaved);
+    const BlcoTensor major(clustered, 256, BitOrder::kModeMajor);
+    const double value_bytes =
+        static_cast<double>(clustered.nnz()) * sizeof(real_t);
+    const double bits_inter = 8.0 * (inter.storage_bytes() - value_bytes) /
+                              static_cast<double>(inter.nnz());
+    const double bits_major = 8.0 * (major.storage_bytes() - value_bytes) /
+                              static_cast<double>(major.nnz());
+    std::printf("%-12s %18.1f %18.1f %13.2fx\n", "clustered", bits_inter,
+                bits_major, bits_major / bits_inter);
+  }
+  std::printf(
+      "\nIndex bits per nonzero after per-block delta packing. The uniform\n"
+      "hash-scattered analogs are locality-neutral (ratios ~1.0); the\n"
+      "clustered tensor shows a modest interleaving win from tighter block\n"
+      "spans. Interleaving's primary benefit is not compression but\n"
+      "mode-agnostic MTTKRP locality: one sorted copy gives cache-friendly\n"
+      "gathers for every mode, where mode-major order favors mode 0 only —\n"
+      "an effect the working-set model of the MTTKRP kernels captures.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Convergence quality across update schemes: fit per outer iteration of
+// cuADMM, MU, HALS, and exact-NNLS BPP on a planted fully observed
+// non-negative tensor. Complements the paper's per-iteration *cost*
+// comparison: ADMM's selling point (Section 2.4) is that it converges as
+// fast as exact methods per outer iteration at a fraction of the cost —
+// this bench shows both axes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "tensor/generate.hpp"
+
+int main() {
+  using namespace cstf;
+  LowRankTensorParams gen;
+  gen.dims = {40, 32, 24};
+  gen.rank = 5;
+  gen.target_nnz = 40 * 32 * 24;
+  gen.noise = 0.02;
+  gen.seed = 17;
+  const LowRankTensor data = generate_low_rank(gen);
+  std::printf("=== Convergence per outer iteration (planted rank-5, R=8) ===\n\n");
+  std::printf("tensor: %s\n\n", data.tensor.shape_string().c_str());
+  std::printf("%-8s %10s %10s %10s %10s\n", "iter", "cuADMM", "MU", "HALS",
+              "BPP");
+
+  constexpr int kIters = 15;
+  double fits[4][kIters];
+  double modeled[4];
+  const UpdateScheme schemes[4] = {UpdateScheme::kCuAdmm, UpdateScheme::kMu,
+                                   UpdateScheme::kHals, UpdateScheme::kBpp};
+  for (int si = 0; si < 4; ++si) {
+    FrameworkOptions opt;
+    opt.rank = 8;
+    opt.max_iterations = kIters;
+    opt.scheme = schemes[si];
+    CstfFramework fw(data.tensor, opt);
+    fw.driver().initialize();
+    for (int it = 0; it < kIters; ++it) fits[si][it] = fw.driver().iterate();
+    modeled[si] = fw.device().modeled_time_s();
+  }
+  for (int it = 0; it < kIters; ++it) {
+    std::printf("%-8d %10.4f %10.4f %10.4f %10.4f\n", it + 1, fits[0][it],
+                fits[1][it], fits[2][it], fits[3][it]);
+  }
+  std::printf("\nmodeled A100 time for the %d iterations [ms]:\n", kIters);
+  std::printf("%-8s %10.2f %10.2f %10.2f %10.2f\n", "", modeled[0] * 1e3,
+              modeled[1] * 1e3, modeled[2] * 1e3, modeled[3] * 1e3);
+  std::printf(
+      "\nShape to verify: cuADMM tracks the exact BPP fit trajectory within\n"
+      "a few iterations; MU converges markedly slower per iteration — the\n"
+      "reason AO-ADMM is the paper's default update.\n");
+  return 0;
+}

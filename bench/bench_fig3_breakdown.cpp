@@ -1,0 +1,38 @@
+// Reproduces Figure 3: cSTF phase breakdown on the three largest tensors
+// (Flickr, Delicious, NELL1) — UPDATE dominates. The paper profiles the
+// modified-PLANC CPU implementation; both the CPU baseline and our GPU
+// framework are shown.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cstf;
+  const index_t rank = 32;
+  std::printf("=== Figure 3: cSTF phase breakdown on the largest tensors (R=%lld) ===\n\n",
+              static_cast<long long>(rank));
+  std::printf("%-26s %9s %9s %9s %9s\n", "", "GRAM", "MTTKRP", "UPDATE",
+              "NORMALIZE");
+
+  for (const char* name : {"Flickr", "Delicious", "NELL1"}) {
+    const DatasetAnalog data = bench::load_dataset(name);
+    const auto cpu =
+        bench::planc_sparse_iteration(data, UpdateScheme::kAdmm, rank);
+    const auto gpu =
+        bench::gpu_iteration(data, simgpu::h100(), UpdateScheme::kCuAdmm, rank);
+    auto print = [&](const std::string& label,
+                     const bench::ModeledIteration& it) {
+      const double total = it.total();
+      std::printf("%-26s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", label.c_str(),
+                  100.0 * it.gram / total, 100.0 * it.mttkrp / total,
+                  100.0 * it.update / total, 100.0 * it.normalize / total);
+    };
+    print(std::string(name) + " (CPU)", cpu);
+    print(std::string(name) + " (H100)", gpu);
+  }
+
+  std::printf(
+      "\nPaper shape to verify: the ADMM UPDATE phase dominates the CPU\n"
+      "execution on all three tensors, motivating cuADMM.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Measured host wall-clock per phase — the only numbers in this repository
+// that time *this machine* rather than the modeled targets. Useful for
+// regression tracking of the real implementations and for sanity-checking
+// that the modeled phase *ratios* are not artifacts: the host is a CPU, so
+// its measured breakdown should resemble the modeled Xeon shape (UPDATE
+// heavy for ADMM on long-mode tensors), not the GPU shape.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cstf;
+  const index_t rank = 16;
+  std::printf("=== Measured host wall-clock per cSTF iteration (this machine, R=%lld) ===\n\n",
+              static_cast<long long>(rank));
+  std::printf("%-12s %-8s %10s %10s %10s %10s %10s\n", "Tensor", "Engine",
+              "GRAM[ms]", "MTTKRP", "UPDATE", "NORM", "total");
+
+  for (const char* name : {"NIPS", "NELL2", "Delicious"}) {
+    const DatasetAnalog data = bench::load_dataset(name);
+    std::vector<double> mode_scales(
+        static_cast<std::size_t>(data.tensor.num_modes()), 1.0);
+
+    {
+      BlcoBackend backend(data.tensor);
+      auto update = CstfFramework::make_update(UpdateScheme::kCuAdmm,
+                                               Proximity::non_negative(), 10);
+      bench::ModeledIteration wall;
+      bench::modeled_iteration(backend, *update, simgpu::a100(), rank,
+                               mode_scales, 1.0, &wall);
+      std::printf("%-12s %-8s %10.2f %10.2f %10.2f %10.2f %10.2f\n", name,
+                  "blco", wall.gram * 1e3, wall.mttkrp * 1e3,
+                  wall.update * 1e3, wall.normalize * 1e3, wall.total() * 1e3);
+    }
+    {
+      CsfBackend backend(data.tensor);
+      BlockAdmmOptions opt;
+      opt.prox = Proximity::non_negative();
+      BlockAdmmUpdate update(opt);
+      bench::ModeledIteration wall;
+      bench::modeled_iteration(backend, update, simgpu::xeon_8367hc(), rank,
+                               mode_scales, 1.0, &wall);
+      std::printf("%-12s %-8s %10.2f %10.2f %10.2f %10.2f %10.2f\n", name,
+                  "csf", wall.gram * 1e3, wall.mttkrp * 1e3, wall.update * 1e3,
+                  wall.normalize * 1e3, wall.total() * 1e3);
+    }
+  }
+  std::printf(
+      "\nWall times are for the scaled analogs on this host (CPU execution\n"
+      "regardless of the metering target) — compare trends, not magnitudes.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Device-memory footprint of a fully GPU-resident run, per dataset at full
+// scale, against the 80 GB HBM of the paper's GPUs (Table 1).
+//
+// The BLCO substrate (Nguyen et al., ICS'22) exists precisely because the
+// largest FROSTT tensors approach or exceed device memory; this bench shows
+// which Table-2 datasets are comfortably resident and how BLCO's
+// delta-compressed indices compare against COO and CSF storage.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "formats/blco.hpp"
+#include "formats/csf.hpp"
+
+int main() {
+  using namespace cstf;
+  const index_t rank = 32;
+  const double hbm = 80e9;
+  std::printf("=== Device-memory footprint at full dataset scale (R=%lld, 80 GB HBM) ===\n\n",
+              static_cast<long long>(rank));
+  std::printf("%-12s %12s %12s %12s %14s %10s\n", "Tensor", "COO [GB]",
+              "CSF [GB]", "BLCO [GB]", "resident [GB]", "fits?");
+
+  for (const auto& name : bench::dataset_names()) {
+    const DatasetAnalog data = bench::load_dataset(name);
+    const int modes = data.tensor.num_modes();
+    const double scale = data.nnz_scale();
+
+    // Per-format index+value storage, scaled to full nonzero count.
+    const double coo_bytes =
+        static_cast<double>(data.tensor.nnz()) *
+        (static_cast<double>(modes) * sizeof(index_t) + sizeof(real_t)) * scale;
+    const CsfTensor csf(data.tensor, 0);
+    const double csf_bytes = csf.storage_bytes() * scale;
+    const BlcoTensor blco(data.tensor);
+    const double blco_bytes = blco.storage_bytes() * scale;
+
+    // Full resident footprint: BLCO + factors + duals + scratch.
+    double factor_bytes = 0.0, max_rows = 0.0;
+    for (std::size_t m = 0; m < data.spec.full_dims.size(); ++m) {
+      const auto rows = static_cast<double>(data.spec.full_dims[m]);
+      factor_bytes += 2.0 * rows * static_cast<double>(rank) * sizeof(real_t);
+      max_rows = std::max(max_rows, rows);
+    }
+    const double resident = blco_bytes + factor_bytes +
+                            3.0 * max_rows * static_cast<double>(rank) *
+                                sizeof(real_t);
+    std::printf("%-12s %12.3f %12.3f %12.3f %14.3f %10s\n", name.c_str(),
+                coo_bytes / 1e9, csf_bytes / 1e9, blco_bytes / 1e9,
+                resident / 1e9, resident <= hbm ? "yes" : "NO (stream)");
+  }
+  std::printf(
+      "\nShape to verify: BLCO's delta-packed blocks undercut COO on every\n"
+      "tensor (Amazon: ~54 GB COO vs ~18 GB BLCO — COO would leave no room\n"
+      "for factors on an 80 GB device). The long-mode tensors' factor state\n"
+      "grows with R; at R=128 Flickr/NELL1 exceed the device, which is the\n"
+      "out-of-memory case the BLCO substrate paper streams.\n");
+  return 0;
+}

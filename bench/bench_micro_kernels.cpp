@@ -1,0 +1,230 @@
+// Google-benchmark micro-benchmarks: host wall-clock of the individual
+// kernels (dense BLAS, Cholesky machinery, the four MTTKRP formats, and the
+// ADMM variants). These measure this machine, not the modeled devices — use
+// them for regression tracking of the real implementations.
+#include <benchmark/benchmark.h>
+
+#include "formats/alto.hpp"
+#include "formats/blco.hpp"
+#include "formats/csf.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "mttkrp/alto_mttkrp.hpp"
+#include "mttkrp/blco_mttkrp.hpp"
+#include "mttkrp/coo_mttkrp.hpp"
+#include "mttkrp/csf_mttkrp.hpp"
+#include "tensor/generate.hpp"
+#include "updates/admm.hpp"
+#include "updates/hals.hpp"
+#include "updates/mu.hpp"
+
+namespace cstf {
+namespace {
+
+Matrix random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  m.fill_uniform(rng, 0.0, 1.0);
+  return m;
+}
+
+SparseTensor bench_tensor() {
+  RandomTensorParams p;
+  p.dims = {2000, 1500, 1000};
+  p.target_nnz = 50000;
+  p.seed = 3;
+  static SparseTensor t = generate_random(p);
+  return t;
+}
+
+void BM_GemmTallSkinny(benchmark::State& state) {
+  const index_t rows = state.range(0), rank = 32;
+  const Matrix a = random_matrix(rows, rank, 1);
+  const Matrix b = random_matrix(rank, rank, 2);
+  Matrix c(rows, rank);
+  for (auto _ : state) {
+    la::gemm(la::Op::kNone, la::Op::kNone, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * rank * rank * 2);
+}
+BENCHMARK(BM_GemmTallSkinny)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_Gram(benchmark::State& state) {
+  const Matrix a = random_matrix(state.range(0), 32, 3);
+  Matrix s(32, 32);
+  for (auto _ : state) {
+    la::gram(a, s);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_Gram)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  const index_t rank = state.range(0);
+  Matrix g = random_matrix(2 * rank, rank, 4);
+  Matrix s(rank, rank), l;
+  la::gram(g, s);
+  la::add_diagonal(s, 1.0);
+  for (auto _ : state) {
+    la::cholesky_factor(s, l);
+    benchmark::DoNotOptimize(l.data());
+  }
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CholeskySolveRight(benchmark::State& state) {
+  const index_t rows = state.range(0), rank = 32;
+  Matrix g = random_matrix(2 * rank, rank, 5);
+  Matrix s(rank, rank), l;
+  la::gram(g, s);
+  la::add_diagonal(s, 1.0);
+  la::cholesky_factor(s, l);
+  Matrix b = random_matrix(rows, rank, 6);
+  for (auto _ : state) {
+    Matrix x = b;
+    la::cholesky_solve_right(l, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_CholeskySolveRight)->Arg(1 << 12);
+
+template <typename BuildAndRun>
+void mttkrp_bench(benchmark::State& state, BuildAndRun&& run) {
+  const SparseTensor t = bench_tensor();
+  std::vector<Matrix> factors;
+  for (int m = 0; m < t.num_modes(); ++m) {
+    factors.push_back(random_matrix(t.dim(m), 32, 100 + m));
+  }
+  Matrix out(t.dim(0), 32);
+  for (auto _ : state) {
+    run(t, factors, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.nnz());
+}
+
+void BM_MttkrpCoo(benchmark::State& state) {
+  mttkrp_bench(state, [](const SparseTensor& t,
+                         const std::vector<Matrix>& factors, Matrix& out) {
+    mttkrp_coo(t, factors, 0, out);
+  });
+}
+BENCHMARK(BM_MttkrpCoo);
+
+void BM_MttkrpCsf(benchmark::State& state) {
+  const SparseTensor t = bench_tensor();
+  const CsfTensor csf(t, 0);
+  std::vector<Matrix> factors;
+  for (int m = 0; m < t.num_modes(); ++m) {
+    factors.push_back(random_matrix(t.dim(m), 32, 100 + m));
+  }
+  Matrix out(t.dim(0), 32);
+  for (auto _ : state) {
+    mttkrp_csf(csf, factors, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.nnz());
+}
+BENCHMARK(BM_MttkrpCsf);
+
+void BM_MttkrpAlto(benchmark::State& state) {
+  const SparseTensor t = bench_tensor();
+  const AltoTensor alto(t);
+  std::vector<Matrix> factors;
+  for (int m = 0; m < t.num_modes(); ++m) {
+    factors.push_back(random_matrix(t.dim(m), 32, 100 + m));
+  }
+  Matrix out(t.dim(0), 32);
+  for (auto _ : state) {
+    mttkrp_alto(alto, factors, 0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.nnz());
+}
+BENCHMARK(BM_MttkrpAlto);
+
+void BM_MttkrpBlco(benchmark::State& state) {
+  const SparseTensor t = bench_tensor();
+  const BlcoTensor blco(t, 4096);
+  std::vector<Matrix> factors;
+  for (int m = 0; m < t.num_modes(); ++m) {
+    factors.push_back(random_matrix(t.dim(m), 32, 100 + m));
+  }
+  Matrix out(t.dim(0), 32);
+  simgpu::Device dev(simgpu::a100());
+  for (auto _ : state) {
+    mttkrp_blco(dev, blco, factors, 0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.nnz());
+}
+BENCHMARK(BM_MttkrpBlco);
+
+void admm_bench(benchmark::State& state, bool fusion, bool preinversion) {
+  const index_t rows = 1 << 14, rank = 32;
+  Matrix g = random_matrix(2 * rank, rank, 7);
+  Matrix s(rank, rank);
+  la::gram(g, s);
+  const Matrix m = random_matrix(rows, rank, 8);
+  Matrix h = random_matrix(rows, rank, 9);
+  AdmmOptions opt;
+  opt.inner_iterations = 10;
+  opt.operation_fusion = fusion;
+  opt.preinversion = preinversion;
+  AdmmUpdate admm(opt);
+  simgpu::Device dev(simgpu::a100());
+  ModeState st;
+  for (auto _ : state) {
+    admm.update(dev, s, m, h, st);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+
+void BM_AdmmBaseline(benchmark::State& state) { admm_bench(state, false, false); }
+void BM_AdmmFused(benchmark::State& state) { admm_bench(state, true, false); }
+void BM_AdmmPreinverted(benchmark::State& state) { admm_bench(state, false, true); }
+void BM_CuAdmm(benchmark::State& state) { admm_bench(state, true, true); }
+BENCHMARK(BM_AdmmBaseline);
+BENCHMARK(BM_AdmmFused);
+BENCHMARK(BM_AdmmPreinverted);
+BENCHMARK(BM_CuAdmm);
+
+void BM_MuUpdate(benchmark::State& state) {
+  const index_t rows = 1 << 14, rank = 32;
+  Matrix g = random_matrix(2 * rank, rank, 10);
+  Matrix s(rank, rank);
+  la::gram(g, s);
+  const Matrix m = random_matrix(rows, rank, 11);
+  Matrix h = random_matrix(rows, rank, 12);
+  MuUpdate mu;
+  simgpu::Device dev(simgpu::a100());
+  ModeState st;
+  for (auto _ : state) {
+    mu.update(dev, s, m, h, st);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_MuUpdate);
+
+void BM_HalsUpdate(benchmark::State& state) {
+  const index_t rows = 1 << 14, rank = 32;
+  Matrix g = random_matrix(2 * rank, rank, 13);
+  Matrix s(rank, rank);
+  la::gram(g, s);
+  const Matrix m = random_matrix(rows, rank, 14);
+  Matrix h = random_matrix(rows, rank, 15);
+  HalsUpdate hals;
+  simgpu::Device dev(simgpu::a100());
+  ModeState st;
+  for (auto _ : state) {
+    hals.update(dev, s, m, h, st);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_HalsUpdate);
+
+}  // namespace
+}  // namespace cstf
+
+BENCHMARK_MAIN();

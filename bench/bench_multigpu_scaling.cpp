@@ -1,0 +1,56 @@
+// Multi-GPU MTTKRP scaling (the paper's future-work extension, simulated):
+// per-mode MTTKRP time on 1/2/4/8 A100s with ring all-reduce of the partial
+// outputs over NVLink, for a small, a medium, and two large tensors.
+//
+// Expected shape: near-linear scaling where the per-device work dominates
+// (large nnz, short output mode); the all-reduce of long-mode outputs
+// (Flickr mode 2: 28.2M x 32 doubles = 7.2 GB) caps speedup.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "multigpu/multi_gpu.hpp"
+
+int main() {
+  using namespace cstf;
+  const index_t rank = 32;
+  std::printf("=== Multi-GPU MTTKRP scaling (A100 + NVLink ring, R=%lld) ===\n\n",
+              static_cast<long long>(rank));
+  std::printf("%-12s %-6s %12s %12s %12s %12s\n", "Tensor", "Mode", "1 GPU [s]",
+              "2 GPUs", "4 GPUs", "8 GPUs");
+
+  for (const char* name : {"NIPS", "NELL2", "Delicious", "Amazon"}) {
+    const DatasetAnalog data = bench::load_dataset(name);
+    Rng rng(3);
+    std::vector<Matrix> factors;
+    for (int m = 0; m < data.tensor.num_modes(); ++m) {
+      Matrix f(data.tensor.dim(m), rank);
+      f.fill_uniform(rng, 0.0, 1.0);
+      factors.push_back(std::move(f));
+    }
+    for (int mode = 0; mode < data.tensor.num_modes(); ++mode) {
+      double base = 0.0;
+      std::printf("%-12s %-6d", name, mode + 1);
+      for (int devices : {1, 2, 4, 8}) {
+        MultiGpuOptions opt;
+        opt.num_devices = devices;
+        MultiGpuCstf engine(data.tensor, opt);
+        Matrix out(data.tensor.dim(mode), rank);
+        engine.mttkrp(factors, mode, out);
+        const double t = engine.modeled_mttkrp_time(
+            mode, rank, data.nnz_scale(), data.dim_scale(mode));
+        if (devices == 1) {
+          base = t;
+          std::printf(" %12.5f", t);
+        } else {
+          std::printf(" %10.2fx ", base / t);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nColumns 2-4 are speedups over 1 GPU. Shape to verify: scaling\n"
+      "approaches the device count when shard compute dominates, and is\n"
+      "capped by the all-reduce of long-mode outputs.\n");
+  return 0;
+}

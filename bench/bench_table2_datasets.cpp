@@ -1,0 +1,38 @@
+// Reproduces Table 2: the evaluation datasets (full-size specs) plus the
+// scaled analogs this repository generates for them.
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cstf;
+  std::printf("=== Table 2: sparse tensor datasets (paper spec vs generated analog) ===\n\n");
+  std::printf("%-11s %-34s %-10s %-10s %-26s %-9s %-9s\n", "Tensor",
+              "Dimensions (paper)", "NNZs", "Density", "Analog dims",
+              "Analog", "Scale");
+  for (const auto& name : bench::dataset_names()) {
+    const DatasetAnalog analog = bench::load_dataset(name);
+    const DatasetSpec& spec = analog.spec;
+    std::ostringstream dims_full, dims_analog;
+    for (std::size_t m = 0; m < spec.full_dims.size(); ++m) {
+      if (m) dims_full << " x ";
+      dims_full << spec.full_dims[m];
+    }
+    for (int m = 0; m < analog.tensor.num_modes(); ++m) {
+      if (m) dims_analog << " x ";
+      dims_analog << analog.tensor.dim(m);
+    }
+    std::printf("%-11s %-34s %-10.1e %-10.1e %-26s %-9lld %-9.0f\n",
+                spec.name.c_str(), dims_full.str().c_str(), spec.full_nnz,
+                spec.density(), dims_analog.str().c_str(),
+                static_cast<long long>(analog.tensor.nnz()),
+                analog.nnz_scale());
+  }
+  std::printf(
+      "\n'Scale' is full nnz / analog nnz — the factor benches use to map\n"
+      "metered MTTKRP statistics back to full size (DESIGN.md section 2).\n"
+      "Set CSTF_DATA_DIR to a directory of FROSTT .tns files to run on the\n"
+      "real tensors (scale becomes 1).\n");
+  return 0;
+}

@@ -1,0 +1,200 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/env.hpp"
+#include "common/timer.hpp"
+#include "la/blas.hpp"
+#include "la/elementwise.hpp"
+#include "simgpu/dblas.hpp"
+#include "tensor/io.hpp"
+
+namespace cstf::bench {
+
+DatasetAnalog load_dataset(const std::string& name) {
+  const DatasetSpec& spec = dataset_by_name(name);
+  const std::string dir = env_string("CSTF_DATA_DIR", "");
+  if (!dir.empty()) {
+    const std::string path = dir + "/" + name + ".tns";
+    std::ifstream probe(path);
+    if (probe.good()) {
+      probe.close();
+      DatasetAnalog full{spec, read_tns_file(path)};
+      return full;  // dim_scale/nnz_scale ~ 1 for the real tensor
+    }
+  }
+  return make_analog(spec, default_analog_nnz());
+}
+
+ModeledIteration modeled_iteration(const DatasetAnalog& data,
+                                   const MttkrpBackend& backend,
+                                   const UpdateMethod& update,
+                                   const simgpu::DeviceSpec& spec,
+                                   index_t rank, ModeledIteration* wall) {
+  std::vector<double> mode_scales;
+  for (int m = 0; m < backend.num_modes(); ++m) {
+    mode_scales.push_back(data.dim_scale(m));
+  }
+  return modeled_iteration(backend, update, spec, rank, mode_scales,
+                           data.nnz_scale(), wall);
+}
+
+ModeledIteration modeled_iteration(const MttkrpBackend& backend,
+                                   const UpdateMethod& update,
+                                   const simgpu::DeviceSpec& spec,
+                                   index_t rank,
+                                   const std::vector<double>& mode_scales,
+                                   double nnz_scale, ModeledIteration* wall,
+                                   std::vector<ModeledIteration>* per_mode) {
+  const int modes = backend.num_modes();
+  if (per_mode) per_mode->assign(static_cast<std::size_t>(modes), {});
+  simgpu::Device dev(spec);
+
+  // Factors + cached grams, as the driver holds them.
+  Rng rng(7);
+  std::vector<Matrix> factors;
+  std::vector<Matrix> grams;
+  std::vector<ModeState> states(static_cast<std::size_t>(modes));
+  for (int m = 0; m < modes; ++m) {
+    Matrix f(backend.dim(m), rank);
+    f.fill_uniform(rng, 0.0, 1.0);
+    Matrix g(rank, rank);
+    la::gram(f, g);
+    factors.push_back(std::move(f));
+    grams.push_back(std::move(g));
+  }
+
+  ModeledIteration out;
+  Matrix s(rank, rank), m_out;
+  std::vector<real_t> lambda(static_cast<std::size_t>(rank), 1.0);
+
+  for (int n = 0; n < modes; ++n) {
+    Matrix& h = factors[static_cast<std::size_t>(n)];
+    const double mode_scale = mode_scales[static_cast<std::size_t>(n)];
+
+    // --- GRAM: Hadamard of cached grams (R^2, negligible but metered) plus
+    // the post-update dsyrk of this mode's factor.
+    dev.reset();
+    Timer t_gram;
+    s.set_all(1.0);
+    for (int m = 0; m < modes; ++m) {
+      if (m != n) la::hadamard_inplace(s, grams[static_cast<std::size_t>(m)]);
+    }
+    simgpu::dsyrk_gram(dev, h, grams[static_cast<std::size_t>(n)]);
+    {
+      const double dt = perfmodel::modeled_time_scaled(dev, mode_scale);
+      out.gram += dt;
+      if (per_mode) (*per_mode)[static_cast<std::size_t>(n)].gram += dt;
+    }
+    if (wall) wall->gram += t_gram.seconds();
+
+    // --- MTTKRP.
+    dev.reset();
+    Timer t_mttkrp;
+    if (!m_out.same_shape(h)) m_out.resize(h.rows(), h.cols());
+    backend.mttkrp(dev, factors, n, m_out);
+    {
+      const double dt = perfmodel::modeled_time_scaled(dev, nnz_scale);
+      out.mttkrp += dt;
+      if (per_mode) (*per_mode)[static_cast<std::size_t>(n)].mttkrp += dt;
+    }
+    if (wall) wall->mttkrp += t_mttkrp.seconds();
+
+    // --- UPDATE.
+    dev.reset();
+    Timer t_update;
+    update.update(dev, s, m_out, h, states[static_cast<std::size_t>(n)]);
+    {
+      const double dt = perfmodel::modeled_time_scaled(dev, mode_scale);
+      out.update += dt;
+      if (per_mode) (*per_mode)[static_cast<std::size_t>(n)].update += dt;
+    }
+    if (wall) wall->update += t_update.seconds();
+
+    // --- NORMALIZE (column 2-norms absorbed into lambda).
+    dev.reset();
+    Timer t_norm;
+    {
+      simgpu::KernelStats stats;
+      stats.flops = 3.0 * static_cast<double>(h.size());
+      stats.bytes_streamed = 2.0 * static_cast<double>(h.size()) * simgpu::kWord;
+      stats.parallel_items = static_cast<double>(h.cols());
+      stats.launches = 2;
+      dev.record("normalize", stats);
+    }
+    la::column_norms(h, lambda.data());
+    la::scale_columns_inv(h, lambda.data());
+    {
+      const double dt = perfmodel::modeled_time_scaled(dev, mode_scale);
+      out.normalize += dt;
+      if (per_mode) (*per_mode)[static_cast<std::size_t>(n)].normalize += dt;
+    }
+    if (wall) wall->normalize += t_norm.seconds();
+  }
+  return out;
+}
+
+ModeledIteration gpu_iteration(const DatasetAnalog& data,
+                               const simgpu::DeviceSpec& gpu_spec,
+                               UpdateScheme scheme, index_t rank) {
+  BlcoBackend backend(data.tensor);
+  auto update = CstfFramework::make_update(scheme, Proximity::non_negative(),
+                                           /*admm_inner_iterations=*/10);
+  return modeled_iteration(data, backend, *update, gpu_spec, rank);
+}
+
+ModeledIteration splatt_iteration(const DatasetAnalog& data, index_t rank) {
+  CsfBackend backend(data.tensor);
+  BlockAdmmOptions opt;
+  opt.prox = Proximity::non_negative();
+  opt.inner_iterations = 10;
+  BlockAdmmUpdate update(opt);
+  return modeled_iteration(data, backend, update, simgpu::xeon_8367hc(), rank);
+}
+
+ModeledIteration planc_sparse_iteration(const DatasetAnalog& data,
+                                        UpdateScheme scheme, index_t rank) {
+  AltoBackend backend(data.tensor);
+  auto update = CstfFramework::make_update(scheme, Proximity::non_negative(),
+                                           /*admm_inner_iterations=*/10);
+  return modeled_iteration(data, backend, *update, simgpu::xeon_8367hc(), rank);
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void print_header(const std::vector<std::string>& columns, int width) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%-*s", i == 0 ? 14 : width, columns[i].c_str());
+  }
+  std::printf("\n");
+  print_rule(columns.size(), width);
+}
+
+void print_row(const std::string& label, const std::vector<double>& values,
+               int width, int precision) {
+  std::printf("%-14s", label.c_str());
+  for (double v : values) std::printf("%-*.*f", width, precision, v);
+  std::printf("\n");
+}
+
+void print_rule(std::size_t columns, int width) {
+  const std::size_t total = 14 + (columns > 0 ? columns - 1 : 0) * static_cast<std::size_t>(width);
+  for (std::size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names = {
+      "NIPS", "Uber", "Chicago", "Vast", "Enron",
+      "NELL2", "Flickr", "Delicious", "NELL1", "Amazon"};
+  return names;
+}
+
+}  // namespace cstf::bench

@@ -1,0 +1,82 @@
+// Shared bench harness: dataset loading, per-phase modeled timing at full
+// dataset scale, and table formatting.
+//
+// Modeled-time methodology (see DESIGN.md §2): every kernel executes for
+// real on the host and meters its flops/bytes; benches scale each phase's
+// metered record to the full-size dataset (nnz_scale for MTTKRP,
+// per-mode dim_scale for the factor-update phases) and feed the roofline
+// cost model with the target machine's spec. Host wall-clock times are also
+// reported where meaningful. If CSTF_DATA_DIR is set and contains
+// "<Name>.tns" (FROSTT format), the real tensor is loaded instead of the
+// synthetic analog and all scale factors are 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cstf/auntf.hpp"
+#include "cstf/framework.hpp"
+#include "perfmodel/admm_model.hpp"
+#include "tensor/datasets.hpp"
+#include "updates/block_admm.hpp"
+
+namespace cstf::bench {
+
+/// Loads the dataset: real `.tns` from CSTF_DATA_DIR when available,
+/// otherwise the deterministic scaled analog.
+DatasetAnalog load_dataset(const std::string& name);
+
+/// Modeled seconds of one cSTF outer iteration, split by phase, at full
+/// dataset scale on the given machine.
+struct ModeledIteration {
+  double gram = 0.0;
+  double mttkrp = 0.0;
+  double update = 0.0;
+  double normalize = 0.0;
+
+  double total() const { return gram + mttkrp + update + normalize; }
+};
+
+/// Runs one metered outer iteration (all modes) of the AUNTF loop with the
+/// given backend/update and models each phase at full scale for `spec`.
+/// `mode_scales[n]` scales mode-n factor phases (GRAM/UPDATE/NORMALIZE) and
+/// `nnz_scale` scales MTTKRP. Also accumulates host wall-clock per phase
+/// into `wall` when non-null.
+ModeledIteration modeled_iteration(const MttkrpBackend& backend,
+                                   const UpdateMethod& update,
+                                   const simgpu::DeviceSpec& spec,
+                                   index_t rank,
+                                   const std::vector<double>& mode_scales,
+                                   double nnz_scale,
+                                   ModeledIteration* wall = nullptr,
+                                   std::vector<ModeledIteration>* per_mode = nullptr);
+
+/// DatasetAnalog convenience overload: scales taken from the analog.
+ModeledIteration modeled_iteration(const DatasetAnalog& data,
+                                   const MttkrpBackend& backend,
+                                   const UpdateMethod& update,
+                                   const simgpu::DeviceSpec& spec,
+                                   index_t rank,
+                                   ModeledIteration* wall = nullptr);
+
+/// Convenience bundles for the three systems the figures compare.
+ModeledIteration gpu_iteration(const DatasetAnalog& data,
+                               const simgpu::DeviceSpec& gpu_spec,
+                               UpdateScheme scheme, index_t rank);
+ModeledIteration splatt_iteration(const DatasetAnalog& data, index_t rank);
+ModeledIteration planc_sparse_iteration(const DatasetAnalog& data,
+                                        UpdateScheme scheme, index_t rank);
+
+/// Geometric mean of a list of ratios.
+double geomean(const std::vector<double>& values);
+
+/// Fixed-width table printing.
+void print_header(const std::vector<std::string>& columns, int width = 12);
+void print_row(const std::string& label, const std::vector<double>& values,
+               int width = 12, int precision = 2);
+void print_rule(std::size_t columns, int width = 12);
+
+/// The 10 paper dataset names, Table 2 order.
+const std::vector<std::string>& dataset_names();
+
+}  // namespace cstf::bench

@@ -1,0 +1,102 @@
+// Count data and the choice of objective: Gaussian least squares (the cSTF
+// framework's default) vs the Poisson/KL objective (gcp::PoissonNtf), on a
+// tensor of genuine Poisson counts.
+//
+//   build/examples/count_data
+//
+// A (user x item x day) count tensor is sampled from a planted non-negative
+// low-rank rate model. Both factorizations run at the true rank; the example
+// reports how directionally close each method's recovered components are to
+// the planted rate factors (congruence). The KL objective models the count
+// noise correctly and recovers the sparser, Poisson-noised components more
+// faithfully — the motivation behind generalized-loss CP in the paper's
+// related work.
+#include <algorithm>
+#include <cstdio>
+
+#include "cstf/framework.hpp"
+#include "cstf/metrics.hpp"
+#include "gcp/poisson_ntf.hpp"
+#include "tensor/coo.hpp"
+
+namespace {
+
+using namespace cstf;
+
+double mean_best_congruence(const KTensor& got, const KTensor& truth) {
+  double total = 0.0;
+  for (index_t r = 0; r < got.rank(); ++r) {
+    double best = 0.0;
+    for (index_t s = 0; s < truth.rank(); ++s) {
+      best = std::max(best, component_congruence(got, r, truth, s));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(got.rank());
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<index_t> dims{40, 30, 20};
+  const index_t rank = 3;
+  Rng rng(2026);
+
+  // Planted non-negative rate factors (sparse-ish, like real activity data).
+  KTensor truth;
+  for (index_t dim : dims) {
+    Matrix f(dim, rank);
+    for (index_t j = 0; j < rank; ++j) {
+      for (index_t i = 0; i < dim; ++i) {
+        f(i, j) = rng.uniform() < 0.6 ? 0.02 : rng.uniform(0.5, 1.5);
+      }
+    }
+    truth.factors.push_back(std::move(f));
+  }
+  truth.lambda.assign(static_cast<std::size_t>(rank), 1.0);
+
+  // Sample Poisson counts from the rate tensor, dropping zero counts.
+  SparseTensor counts(dims);
+  index_t coords[3];
+  for (coords[0] = 0; coords[0] < dims[0]; ++coords[0]) {
+    for (coords[1] = 0; coords[1] < dims[1]; ++coords[1]) {
+      for (coords[2] = 0; coords[2] < dims[2]; ++coords[2]) {
+        const real_t rate = 4.0 * truth.value_at(coords);
+        const auto count = static_cast<real_t>(rng.poisson(rate));
+        if (count > 0.0) counts.append(coords, count);
+      }
+    }
+  }
+  counts.sort_by_mode(0);
+  std::printf("count tensor: %s\n\n", counts.shape_string().c_str());
+
+  // Gaussian least-squares cSTF.
+  FrameworkOptions ls_opt;
+  ls_opt.rank = rank;
+  ls_opt.max_iterations = 60;
+  ls_opt.fit_tolerance = 1e-6;
+  CstfFramework ls(counts, ls_opt);
+  const AuntfResult ls_result = ls.run();
+  const double ls_congruence = mean_best_congruence(ls.ktensor(), truth);
+
+  // Poisson/KL NTF.
+  PoissonNtfOptions kl_opt;
+  kl_opt.rank = rank;
+  kl_opt.max_iterations = 120;
+  kl_opt.tolerance = 1e-6;
+  PoissonNtf kl(counts, kl_opt);
+  const PoissonNtfResult kl_result = kl.run();
+  const double kl_congruence = mean_best_congruence(kl.ktensor(), truth);
+
+  std::printf("%-22s %12s %20s\n", "objective", "iterations",
+              "rate-factor congruence");
+  std::printf("%-22s %12d %19.3f\n", "Gaussian LS (cuADMM)",
+              ls_result.iterations, ls_congruence);
+  std::printf("%-22s %12d %19.3f\n", "Poisson KL (MU)", kl_result.iterations,
+              kl_congruence);
+  std::printf(
+      "\nBoth recover the planted structure; the KL objective is the\n"
+      "statistically matched one for counts and should be at least as\n"
+      "faithful (congruence closer to 1).\n");
+  return (kl_congruence > 0.85 && ls_congruence > 0.7) ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Constraint flexibility: L1-regularized non-negative factorization.
+//
+//   build/examples/sparse_factors
+//
+// ADMM's proximity-operator formulation supports constraints beyond plain
+// non-negativity (the flexibility Section 3.2 highlights). This example
+// factorizes the same tensor twice — once with the non-negativity projection
+// and once with the combined L1 + non-negativity soft-threshold — and shows
+// that the L1 run produces markedly sparser (more interpretable) factors at
+// a modest cost in fit.
+#include <cstdio>
+
+#include "cstf/framework.hpp"
+#include "tensor/generate.hpp"
+
+namespace {
+
+using namespace cstf;
+
+double factor_sparsity(const KTensor& model) {
+  index_t zeros = 0, total = 0;
+  for (const Matrix& factor : model.factors) {
+    for (index_t i = 0; i < factor.size(); ++i) {
+      zeros += (factor.data()[i] == 0.0);
+    }
+    total += factor.size();
+  }
+  return static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  // Planted model whose true factors are themselves ~70% sparse (the
+  // low-rank generator draws mostly-small entries), so the L1 run has real
+  // structure to find.
+  LowRankTensorParams gen;
+  gen.dims = {40, 32, 24};
+  gen.rank = 5;
+  gen.target_nnz = 40 * 32 * 24;
+  gen.noise = 0.02;
+  gen.seed = 31;
+  const LowRankTensor data = generate_low_rank(gen);
+  std::printf("tensor: %s\n\n", data.tensor.shape_string().c_str());
+
+  FrameworkOptions base;
+  base.rank = 8;
+  base.max_iterations = 25;
+  base.scheme = UpdateScheme::kCuAdmm;
+
+  std::printf("%-22s %10s %12s\n", "constraint", "fit", "zero frac");
+  double plain_sparsity = 0.0, l1_sparsity = 0.0;
+  for (double lambda : {0.0, 0.05, 0.15, 0.4}) {
+    FrameworkOptions options = base;
+    options.prox = lambda == 0.0 ? Proximity::non_negative()
+                                 : Proximity::l1_non_negative(lambda);
+    CstfFramework framework(data.tensor, options);
+    const AuntfResult result = framework.run();
+    const double sparsity = factor_sparsity(framework.ktensor());
+    if (lambda == 0.0) {
+      plain_sparsity = sparsity;
+    } else if (lambda == 0.4) {
+      l1_sparsity = sparsity;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label),
+                  lambda == 0.0 ? "nonneg" : "nonneg + L1(%.2f)", lambda);
+    std::printf("%-22s %10.4f %11.1f%%\n", label, result.final_fit,
+                100.0 * sparsity);
+  }
+
+  std::printf("\nLarger L1 weights trade a little fit for much sparser "
+              "factors.\n");
+  return l1_sparsity > plain_sparsity ? 0 : 1;
+}

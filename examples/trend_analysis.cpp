@@ -1,0 +1,142 @@
+// Trend analysis over spatiotemporal count data — another application the
+// paper's introduction cites (trend analysis over large multi-way datasets,
+// in the spirit of the Chicago / Uber tensors in Table 2).
+//
+//   build/examples/trend_analysis
+//
+// A (district x incident-category x week) tensor of incident counts is
+// synthesized from three planted urban trends (a summer outdoor spike, a
+// winter indoor pattern, and a year-round downtown baseline). Non-negative
+// CPD recovers each trend as one interpretable component; the example
+// matches recovered components to the planted ones by their seasonal
+// profiles and prints each trend's peak weeks and top categories.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cstf/framework.hpp"
+#include "tensor/coo.hpp"
+
+namespace {
+
+using namespace cstf;
+
+constexpr index_t kDistricts = 40;
+constexpr index_t kCategories = 12;
+constexpr index_t kWeeks = 52;
+
+struct PlantedTrend {
+  const char* name;
+  index_t peak_week;   // center of the seasonal bump (-1: flat)
+  double width;        // gaussian width in weeks
+  std::vector<index_t> categories;
+  double district_bias;  // concentration toward low district ids (downtown)
+};
+
+double seasonal(const PlantedTrend& trend, index_t week) {
+  if (trend.peak_week < 0) return 1.0;
+  const double d = std::min<double>(
+      std::abs(static_cast<double>(week - trend.peak_week)),
+      52.0 - std::abs(static_cast<double>(week - trend.peak_week)));
+  return std::exp(-0.5 * d * d / (trend.width * trend.width));
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<PlantedTrend> trends = {
+      {"summer-outdoor", 26, 5.0, {0, 1, 2}, 0.2},
+      {"winter-indoor", 0, 4.0, {3, 4, 5}, 0.5},
+      {"downtown-baseline", -1, 0.0, {6, 7, 8, 9}, 2.0},
+  };
+
+  Rng rng(99);
+  SparseTensor incidents({kDistricts, kCategories, kWeeks});
+  index_t coords[3];
+  for (index_t d = 0; d < kDistricts; ++d) {
+    for (index_t c = 0; c < kCategories; ++c) {
+      for (index_t w = 0; w < kWeeks; ++w) {
+        double rate = 0.0;
+        for (const auto& trend : trends) {
+          if (std::find(trend.categories.begin(), trend.categories.end(), c) ==
+              trend.categories.end()) {
+            continue;
+          }
+          const double spatial =
+              std::exp(-trend.district_bias * static_cast<double>(d) /
+                       static_cast<double>(kDistricts));
+          rate += 5.0 * spatial * seasonal(trend, w);
+        }
+        if (rate <= 0.05) continue;
+        const double count = rate * rng.uniform(0.6, 1.4);
+        if (count < 0.2) continue;
+        coords[0] = d;
+        coords[1] = c;
+        coords[2] = w;
+        incidents.append(coords, count);
+      }
+    }
+  }
+  incidents.sort_by_mode(0);
+  incidents.dedup_sum();
+  std::printf("incident tensor: %s\n", incidents.shape_string().c_str());
+
+  FrameworkOptions options;
+  options.rank = 3;
+  options.max_iterations = 40;
+  options.fit_tolerance = 1e-5;
+  options.scheme = UpdateScheme::kCuAdmm;
+  options.prox = Proximity::non_negative();
+  CstfFramework framework(incidents, options);
+  const AuntfResult result = framework.run();
+  std::printf("factorized: %d iterations, fit %.3f\n\n", result.iterations,
+              result.final_fit);
+
+  const KTensor model = framework.ktensor();
+  const Matrix& week_factor = model.factors[2];
+  const Matrix& category_factor = model.factors[1];
+
+  int matched = 0;
+  for (index_t r = 0; r < options.rank; ++r) {
+    // Peak week and top categories of this component.
+    index_t peak = 0;
+    for (index_t w = 0; w < kWeeks; ++w) {
+      if (week_factor(w, r) > week_factor(peak, r)) peak = w;
+    }
+    std::vector<std::pair<real_t, index_t>> cats;
+    for (index_t c = 0; c < kCategories; ++c) {
+      cats.emplace_back(category_factor(c, r), c);
+    }
+    std::sort(cats.rbegin(), cats.rend());
+    std::printf("component %lld (lambda %7.1f): peak week %2lld, top categories",
+                static_cast<long long>(r),
+                model.lambda[static_cast<std::size_t>(r)],
+                static_cast<long long>(peak));
+    for (int i = 0; i < 3; ++i) {
+      std::printf(" %lld", static_cast<long long>(cats[i].second));
+    }
+
+    // Match against the planted trend with the most overlapping category set.
+    const PlantedTrend* best = nullptr;
+    int best_overlap = -1;
+    for (const auto& trend : trends) {
+      int overlap = 0;
+      for (int i = 0; i < 3; ++i) {
+        if (std::find(trend.categories.begin(), trend.categories.end(),
+                      cats[i].second) != trend.categories.end()) {
+          ++overlap;
+        }
+      }
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = &trend;
+      }
+    }
+    std::printf("  -> recovered \"%s\"\n", best->name);
+    if (best_overlap >= 2) ++matched;
+  }
+  std::printf("\n%d of 3 planted trends recovered with clean category "
+              "separation\n", matched);
+  return matched == 3 ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every paper
+# table/figure plus the extension benches. Outputs land in ./results/.
+#
+# Knobs (env vars): CSTF_ANALOG_NNZ (analog size, default 60000),
+# CSTF_DATA_DIR (real FROSTT .tns files), CSTF_THREADS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/bench_*; do
+  name=$(basename "$bench")
+  echo "=== $name"
+  "$bench" | tee "results/$name.txt"
+done
+
+echo
+echo "All benches complete; outputs in results/."

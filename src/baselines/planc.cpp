@@ -1,0 +1,36 @@
+#include "baselines/planc.hpp"
+
+namespace cstf {
+
+namespace {
+
+AuntfOptions auntf_options(const PlancOptions& o) {
+  AuntfOptions a;
+  a.rank = o.rank;
+  a.max_iterations = o.max_iterations;
+  a.seed = o.seed;
+  a.compute_fit = o.compute_fit;
+  return a;
+}
+
+}  // namespace
+
+PlancDenseCpu::PlancDenseCpu(DenseTensor tensor, PlancOptions options)
+    : device_(options.device),
+      backend_(std::move(tensor)),
+      update_(CstfFramework::make_update(options.scheme, options.prox,
+                                         options.admm_inner_iterations)) {
+  driver_ = std::make_unique<Auntf>(device_, backend_, *update_,
+                                    auntf_options(options));
+}
+
+PlancSparseCpu::PlancSparseCpu(const SparseTensor& tensor, PlancOptions options)
+    : device_(options.device),
+      backend_(tensor),
+      update_(CstfFramework::make_update(options.scheme, options.prox,
+                                         options.admm_inner_iterations)) {
+  driver_ = std::make_unique<Auntf>(device_, backend_, *update_,
+                                    auntf_options(options));
+}
+
+}  // namespace cstf

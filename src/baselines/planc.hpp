@@ -1,0 +1,65 @@
+// PLANC-style CPU baselines.
+//
+// Two configurations of Eswar et al.'s PLANC AUNTF loop:
+//   * PlancDenseCpu  — dense-tensor constrained factorization, the DenseTF
+//     column of Figure 1;
+//   * PlancSparseCpu — the paper's "modified PLANC" (Section 4): PLANC's
+//     update loop with the ALTO sparse MTTKRP bolted on, the SparseTF
+//     column of Figure 1 and the CPU side of Figures 9-10 (MU/HALS).
+// The update scheme is selectable (generic ADMM / MU / HALS), matching the
+// three update methods Figure 1 profiles.
+#pragma once
+
+#include <memory>
+
+#include "cstf/auntf.hpp"
+#include "cstf/framework.hpp"
+
+namespace cstf {
+
+struct PlancOptions {
+  index_t rank = 32;
+  int max_iterations = 10;
+  int admm_inner_iterations = 10;
+  UpdateScheme scheme = UpdateScheme::kAdmm;  // PLANC's ADMM is unfused
+  Proximity prox = Proximity::non_negative();
+  std::uint64_t seed = 42;
+  bool compute_fit = true;
+  simgpu::DeviceSpec device = simgpu::xeon_8367hc();
+};
+
+/// Dense-tensor PLANC baseline.
+class PlancDenseCpu {
+ public:
+  PlancDenseCpu(DenseTensor tensor, PlancOptions options);
+
+  AuntfResult run() { return driver_->run(); }
+  Auntf& driver() { return *driver_; }
+  simgpu::Device& device() { return device_; }
+  KTensor ktensor() const { return driver_->ktensor(); }
+
+ private:
+  simgpu::Device device_;
+  DenseBackend backend_;
+  std::unique_ptr<UpdateMethod> update_;
+  std::unique_ptr<Auntf> driver_;
+};
+
+/// Sparse-tensor PLANC baseline (ALTO MTTKRP).
+class PlancSparseCpu {
+ public:
+  PlancSparseCpu(const SparseTensor& tensor, PlancOptions options);
+
+  AuntfResult run() { return driver_->run(); }
+  Auntf& driver() { return *driver_; }
+  simgpu::Device& device() { return device_; }
+  KTensor ktensor() const { return driver_->ktensor(); }
+
+ private:
+  simgpu::Device device_;
+  AltoBackend backend_;
+  std::unique_ptr<UpdateMethod> update_;
+  std::unique_ptr<Auntf> driver_;
+};
+
+}  // namespace cstf

@@ -1,0 +1,32 @@
+#include "baselines/splatt.hpp"
+
+namespace cstf {
+
+namespace {
+
+BlockAdmmOptions block_options(const SplattOptions& o) {
+  BlockAdmmOptions b;
+  b.prox = o.prox;
+  b.block_rows = o.admm_block_rows;
+  b.inner_iterations = o.admm_inner_iterations;
+  return b;
+}
+
+AuntfOptions auntf_options(const SplattOptions& o) {
+  AuntfOptions a;
+  a.rank = o.rank;
+  a.max_iterations = o.max_iterations;
+  a.seed = o.seed;
+  a.compute_fit = o.compute_fit;
+  return a;
+}
+
+}  // namespace
+
+SplattCpu::SplattCpu(const SparseTensor& tensor, SplattOptions options)
+    : device_(options.device),
+      backend_(tensor),
+      update_(block_options(options)),
+      driver_(device_, backend_, update_, auntf_options(options)) {}
+
+}  // namespace cstf

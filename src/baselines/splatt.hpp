@@ -1,0 +1,46 @@
+// SPLATT-style CPU baseline — the comparison system of Figures 5-8.
+//
+// Reimplements the algorithmic configuration of Smith & Karypis's SPLATT
+// with the Smith/Beri/Karypis blocked AO-ADMM (ICPP'17):
+//   * CSF trees, one per mode, for race-free fiber-parallel MTTKRP;
+//   * cache-blocked ADMM updates (BlockAdmmUpdate);
+//   * execution metered against the paper's 26-core Ice Lake Xeon spec.
+// Kernels run for real on the host (results are numerically meaningful);
+// modeled time corresponds to the Xeon in Table 1.
+#pragma once
+
+#include "cstf/auntf.hpp"
+#include "updates/block_admm.hpp"
+
+namespace cstf {
+
+struct SplattOptions {
+  index_t rank = 32;
+  int max_iterations = 10;
+  int admm_inner_iterations = 10;
+  index_t admm_block_rows = 1024;
+  Proximity prox = Proximity::non_negative();
+  std::uint64_t seed = 42;
+  bool compute_fit = true;
+  /// Machine the modeled times correspond to.
+  simgpu::DeviceSpec device = simgpu::xeon_8367hc();
+};
+
+/// Owns the device, CSF structures, update method, and driver.
+class SplattCpu {
+ public:
+  SplattCpu(const SparseTensor& tensor, SplattOptions options);
+
+  AuntfResult run() { return driver_.run(); }
+  Auntf& driver() { return driver_; }
+  simgpu::Device& device() { return device_; }
+  KTensor ktensor() const { return driver_.ktensor(); }
+
+ private:
+  simgpu::Device device_;
+  CsfBackend backend_;
+  BlockAdmmUpdate update_;
+  Auntf driver_;
+};
+
+}  // namespace cstf

@@ -1,0 +1,19 @@
+// Environment-variable helpers used by benches to scale workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cstf {
+
+/// Reads an integer environment variable; returns `fallback` when unset or
+/// unparsable. Used by benches for knobs like CSTF_SCALE and CSTF_THREADS.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Reads a floating-point environment variable with a fallback.
+double env_double(const char* name, double fallback);
+
+/// Reads a string environment variable with a fallback.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace cstf

@@ -1,0 +1,49 @@
+// Error handling: a library-specific exception plus CHECK macros.
+//
+// Following the C++ Core Guidelines (E.2), invariant violations throw rather
+// than abort so library users can recover; the macros capture file/line so a
+// failure in a deep kernel is attributable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cstf {
+
+/// Exception thrown on any cstf precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CSTF_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace cstf
+
+/// Verify a precondition; throws cstf::Error with location info on failure.
+/// Enabled in all build types: the cost is negligible next to the kernels.
+#define CSTF_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::cstf::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+/// CSTF_CHECK with a streamed message: CSTF_CHECK_MSG(n > 0, "n=" << n).
+#define CSTF_CHECK_MSG(expr, stream_expr)                                     \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream cstf_check_os_;                                      \
+      cstf_check_os_ << stream_expr;                                          \
+      ::cstf::detail::throw_check_failure(#expr, __FILE__, __LINE__,          \
+                                          cstf_check_os_.str());              \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Single sink (stderr), thread-safe line emission.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cstf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+/// Initialized from the CSTF_LOG environment variable (debug|info|warn|error|off);
+/// defaults to kWarn so library use is quiet.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace cstf
+
+#define CSTF_LOG(level, stream_expr)                                \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::cstf::log_level())) {                    \
+      std::ostringstream cstf_log_os_;                              \
+      cstf_log_os_ << stream_expr;                                  \
+      ::cstf::detail::log_emit(level, cstf_log_os_.str());          \
+    }                                                               \
+  } while (0)
+
+#define CSTF_LOG_DEBUG(s) CSTF_LOG(::cstf::LogLevel::kDebug, s)
+#define CSTF_LOG_INFO(s) CSTF_LOG(::cstf::LogLevel::kInfo, s)
+#define CSTF_LOG_WARN(s) CSTF_LOG(::cstf::LogLevel::kWarn, s)
+#define CSTF_LOG_ERROR(s) CSTF_LOG(::cstf::LogLevel::kError, s)

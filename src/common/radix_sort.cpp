@@ -1,0 +1,49 @@
+#include "common/radix_sort.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace cstf {
+
+void radix_sort_pairs(std::vector<lco_t>& keys,
+                      std::vector<index_t>& payload) {
+  CSTF_CHECK(keys.size() == payload.size());
+  const std::size_t n = keys.size();
+  if (n <= 1) return;
+
+  // Find the highest non-trivial digit so short keys skip passes.
+  lco_t max_key = 0;
+  for (lco_t k : keys) max_key = max_key > k ? max_key : k;
+
+  std::vector<lco_t> key_scratch(n);
+  std::vector<index_t> payload_scratch(n);
+  constexpr int kDigitBits = 8;
+  constexpr std::size_t kBuckets = 1u << kDigitBits;
+
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * kDigitBits;
+    if (pass > 0 && (max_key >> shift) == 0) break;
+
+    std::array<std::size_t, kBuckets> counts{};
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[(keys[i] >> shift) & (kBuckets - 1)];
+    }
+    std::size_t offset = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::size_t count = counts[b];
+      counts[b] = offset;
+      offset += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t bucket = (keys[i] >> shift) & (kBuckets - 1);
+      const std::size_t dst = counts[bucket]++;
+      key_scratch[dst] = keys[i];
+      payload_scratch[dst] = payload[i];
+    }
+    keys.swap(key_scratch);
+    payload.swap(payload_scratch);
+  }
+}
+
+}  // namespace cstf

@@ -1,0 +1,20 @@
+// LSD radix sort for (64-bit key, payload) pairs.
+//
+// ALTO/BLCO construction sorts the linearized coordinate stream; for the
+// nonzero counts of Table 2 a comparison sort is the construction
+// bottleneck, so the format builders use this 8-bit-digit LSD radix sort
+// (O(8·n), stable) instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cstf {
+
+/// Sorts `keys` ascending, applying the same permutation to `payload`.
+/// Stable. Both vectors must have equal length.
+void radix_sort_pairs(std::vector<lco_t>& keys, std::vector<index_t>& payload);
+
+}  // namespace cstf

@@ -1,0 +1,3 @@
+// timer.hpp is header-only; this TU anchors the target so the module always
+// has at least one object file.
+#include "common/timer.hpp"

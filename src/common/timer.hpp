@@ -1,0 +1,85 @@
+// Wall-clock timing and per-phase accumulation.
+//
+// The paper reports per-iteration times split into the four cSTF phases
+// (GRAM / MTTKRP / UPDATE / NORMALIZE); PhaseTimer is the accumulator those
+// breakdowns are built from (Figures 1 and 3).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cstf {
+
+/// Simple monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time per named phase across repeated iterations.
+class PhaseTimer {
+ public:
+  /// RAII scope: adds elapsed time to `phase` on destruction.
+  class Scope {
+   public:
+    Scope(PhaseTimer& parent, std::string phase)
+        : parent_(parent), phase_(std::move(phase)) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { parent_.add(phase_, timer_.seconds()); }
+
+   private:
+    PhaseTimer& parent_;
+    std::string phase_;
+    Timer timer_;
+  };
+
+  Scope scope(std::string phase) { return Scope(*this, std::move(phase)); }
+
+  void add(const std::string& phase, double seconds) {
+    totals_[phase] += seconds;
+  }
+
+  double total(const std::string& phase) const {
+    auto it = totals_.find(phase);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  /// Sum over all phases.
+  double grand_total() const {
+    double t = 0.0;
+    for (const auto& [phase, seconds] : totals_) t += seconds;
+    return t;
+  }
+
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+  void clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// The four cSTF phase names used throughout benches and the driver, matching
+/// the paper's breakdown figures.
+namespace phase {
+inline constexpr const char* kGram = "GRAM";
+inline constexpr const char* kMttkrp = "MTTKRP";
+inline constexpr const char* kUpdate = "UPDATE";
+inline constexpr const char* kNormalize = "NORMALIZE";
+}  // namespace phase
+
+}  // namespace cstf

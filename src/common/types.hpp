@@ -1,0 +1,27 @@
+// Fundamental scalar and index types shared by every cstf module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cstf {
+
+/// Floating-point type used for tensor values and factor matrices.
+/// The paper evaluates in double precision (its arithmetic-intensity model in
+/// Eq. 5 assumes 8-byte words), so `real_t` is double throughout.
+using real_t = double;
+
+/// Index type for tensor mode coordinates and nonzero counts. FROSTT tensors
+/// exceed 2^31 nonzeros (Amazon: 1.7B), so 64-bit signed is required.
+using index_t = std::int64_t;
+
+/// Linearized coordinate type for ALTO/BLCO formats: bit-packed coordinates
+/// of all modes of one nonzero. 64 bits suffice for every tensor in Table 2
+/// at our scales; construction checks the bit budget explicitly.
+using lco_t = std::uint64_t;
+
+/// Maximum number of tensor modes supported by the stack-allocated coordinate
+/// helpers. FROSTT's largest-order tensors are 5-mode; 8 leaves headroom.
+inline constexpr int kMaxModes = 8;
+
+}  // namespace cstf

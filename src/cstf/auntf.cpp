@@ -1,0 +1,223 @@
+#include "cstf/auntf.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "la/blas.hpp"
+#include "la/elementwise.hpp"
+#include "simgpu/dblas.hpp"
+#include "simgpu/launch.hpp"
+
+namespace cstf {
+
+namespace {
+
+/// S = Hadamard over m != mode of grams[m]; an R^2 device kernel.
+void hadamard_of_grams(simgpu::Device& dev, const std::vector<Matrix>& grams,
+                       int mode, Matrix& s) {
+  const index_t r = s.rows();
+  s.set_all(1.0);
+  simgpu::KernelStats stats;
+  stats.flops = static_cast<double>(r * r) * static_cast<double>(grams.size());
+  stats.bytes_streamed = static_cast<double>(r * r) * simgpu::kWord *
+                         static_cast<double>(grams.size() + 1);
+  stats.parallel_items = static_cast<double>(r * r);
+  dev.record("gram_hadamard", stats);
+  for (int m = 0; m < static_cast<int>(grams.size()); ++m) {
+    if (m == mode) continue;
+    la::hadamard_inplace(s, grams[static_cast<std::size_t>(m)]);
+  }
+}
+
+/// Normalizes H's columns by their 2-norms, absorbing them into lambda.
+void normalize_device(simgpu::Device& dev, Matrix& h,
+                      std::vector<real_t>& lambda) {
+  simgpu::KernelStats stats;
+  const double n = static_cast<double>(h.size());
+  stats.flops = 3.0 * n;
+  stats.bytes_streamed = 2.0 * n * simgpu::kWord;  // one read + one write pass
+  stats.parallel_items = static_cast<double>(h.cols());
+  stats.launches = 2;  // norm reduction + scale
+  dev.record("normalize", stats);
+  la::column_norms(h, lambda.data());
+  la::scale_columns_inv(h, lambda.data());
+}
+
+}  // namespace
+
+Auntf::Auntf(simgpu::Device& dev, const MttkrpBackend& backend,
+             const UpdateMethod& update, AuntfOptions options)
+    : Auntf(dev, backend,
+            std::vector<const UpdateMethod*>(
+                static_cast<std::size_t>(backend.num_modes()), &update),
+            std::move(options)) {}
+
+Auntf::Auntf(simgpu::Device& dev, const MttkrpBackend& backend,
+             std::vector<const UpdateMethod*> updates, AuntfOptions options)
+    : dev_(dev),
+      backend_(backend),
+      updates_(std::move(updates)),
+      options_(options) {
+  CSTF_CHECK(options_.rank >= 1);
+  CSTF_CHECK(options_.max_iterations >= 1);
+  CSTF_CHECK_MSG(static_cast<int>(updates_.size()) == backend_.num_modes(),
+                 "need one update method per mode");
+  for (const UpdateMethod* u : updates_) CSTF_CHECK(u != nullptr);
+}
+
+void Auntf::initialize() {
+  const int modes = backend_.num_modes();
+  Rng rng(options_.seed);
+  factors_.clear();
+  grams_.clear();
+  states_.assign(static_cast<std::size_t>(modes), ModeState{});
+  lambda_.assign(static_cast<std::size_t>(options_.rank), 1.0);
+  for (int m = 0; m < modes; ++m) {
+    Matrix f(backend_.dim(m), options_.rank);
+    f.fill_uniform(rng, 0.0, 1.0);
+    factors_.push_back(std::move(f));
+    Matrix g(options_.rank, options_.rank);
+    la::gram(factors_.back(), g);
+    grams_.push_back(std::move(g));
+  }
+  phases_.clear();
+  modeled_phase_.clear();
+  dev_.reset();
+  initialized_ = true;
+}
+
+real_t Auntf::iterate() {
+  CSTF_CHECK_MSG(initialized_, "call initialize() before iterate()");
+  const int modes = backend_.num_modes();
+  const index_t rank = options_.rank;
+
+  Matrix s(rank, rank);
+  Matrix m_out;
+  Matrix last_m;               // MTTKRP result of the final mode (for fit)
+  Matrix gram_unnorm(rank, rank);
+
+  // Tracks modeled time at phase boundaries so each phase's share can be
+  // attributed (modeled_time_s is additive over recorded kernels).
+  double modeled_mark = dev_.modeled_time_s();
+  auto close_phase = [&](const char* phase) {
+    const double now = dev_.modeled_time_s();
+    modeled_phase_[phase] += now - modeled_mark;
+    modeled_mark = now;
+  };
+
+  for (int n = 0; n < modes; ++n) {
+    Matrix& h = factors_[static_cast<std::size_t>(n)];
+
+    {
+      auto t = phases_.scope(phase::kGram);
+      hadamard_of_grams(dev_, grams_, n, s);
+    }
+    close_phase(phase::kGram);
+
+    {
+      auto t = phases_.scope(phase::kMttkrp);
+      if (!m_out.same_shape(h)) m_out.resize(h.rows(), h.cols());
+      backend_.mttkrp(dev_, factors_, n, m_out);
+    }
+    close_phase(phase::kMttkrp);
+
+    {
+      auto t = phases_.scope(phase::kUpdate);
+      updates_[static_cast<std::size_t>(n)]->update(
+          dev_, s, m_out, h, states_[static_cast<std::size_t>(n)]);
+    }
+    close_phase(phase::kUpdate);
+
+    const bool last_mode = (n == modes - 1);
+    if (last_mode && options_.compute_fit) {
+      // Fit needs the unnormalized Gram of the final mode and its MTTKRP
+      // result; capture before normalization rescales H.
+      simgpu::dsyrk_gram(dev_, h, gram_unnorm);
+      last_m = m_out;
+    }
+
+    {
+      auto t = phases_.scope(phase::kNormalize);
+      normalize_device(dev_, h, lambda_);
+    }
+    close_phase(phase::kNormalize);
+
+    {
+      auto t = phases_.scope(phase::kGram);
+      simgpu::dsyrk_gram(dev_, h, grams_[static_cast<std::size_t>(n)]);
+    }
+    close_phase(phase::kGram);
+  }
+
+  if (!options_.compute_fit) return std::numeric_limits<real_t>::quiet_NaN();
+  return compute_fit(last_m, gram_unnorm);
+}
+
+real_t Auntf::compute_fit(const Matrix& last_m,
+                          const Matrix& gram_unnormalized) {
+  const int modes = backend_.num_modes();
+  const index_t rank = options_.rank;
+  const int last = modes - 1;
+
+  // ||X_hat||^2 = sum_{r,s} [gram_unnorm(last) .* prod_{m != last} G_m]_{rs}.
+  Matrix had(rank, rank);
+  hadamard_of_grams(dev_, grams_, last, had);
+  la::hadamard_inplace(had, gram_unnormalized);
+  real_t model_sq = 0.0;
+  for (index_t j = 0; j < rank; ++j) {
+    for (index_t i = 0; i < rank; ++i) model_sq += had(i, j);
+  }
+
+  // <X, X_hat> = sum_{i,r} M_last(i,r) * H_last_unnorm(i,r); the factor is
+  // already normalized, so fold lambda back per column.
+  const Matrix& h_last = factors_[static_cast<std::size_t>(last)];
+  simgpu::KernelStats stats;
+  stats.flops = 2.0 * static_cast<double>(last_m.size());
+  stats.bytes_streamed =
+      2.0 * static_cast<double>(last_m.size()) * simgpu::kWord;
+  stats.parallel_items = static_cast<double>(last_m.size());
+  dev_.record("fit_inner_product", stats);
+  real_t inner = 0.0;
+  for (index_t r = 0; r < rank; ++r) {
+    inner += lambda_[static_cast<std::size_t>(r)] *
+             la::dot(h_last.rows(), h_last.col(r), last_m.col(r));
+  }
+
+  const real_t x_sq = backend_.norm_sq();
+  const real_t residual_sq =
+      std::max<real_t>(0.0, x_sq - 2.0 * inner + model_sq);
+  if (x_sq <= 0.0) return 1.0;
+  return 1.0 - std::sqrt(residual_sq) / std::sqrt(x_sq);
+}
+
+AuntfResult Auntf::run() {
+  if (!initialized_) initialize();
+  AuntfResult result;
+  real_t prev_fit = -std::numeric_limits<real_t>::infinity();
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    const real_t fit = iterate();
+    result.iterations = it + 1;
+    if (options_.compute_fit) {
+      result.fit_history.push_back(fit);
+      result.final_fit = fit;
+      if (options_.fit_tolerance > 0.0 &&
+          std::abs(fit - prev_fit) < options_.fit_tolerance) {
+        result.converged = true;
+        break;
+      }
+      prev_fit = fit;
+    }
+  }
+  return result;
+}
+
+KTensor Auntf::ktensor() const {
+  KTensor kt;
+  kt.factors = factors_;
+  kt.lambda = lambda_;
+  return kt;
+}
+
+}  // namespace cstf

@@ -1,0 +1,73 @@
+#include "cstf/framework.hpp"
+
+#include "common/error.hpp"
+
+namespace cstf {
+
+std::unique_ptr<UpdateMethod> CstfFramework::make_update(
+    UpdateScheme scheme, const Proximity& prox, int admm_inner_iterations) {
+  switch (scheme) {
+    case UpdateScheme::kCuAdmm: {
+      AdmmOptions o;
+      o.prox = prox;
+      o.inner_iterations = admm_inner_iterations;
+      o.operation_fusion = true;
+      o.preinversion = true;
+      return std::make_unique<AdmmUpdate>(o);
+    }
+    case UpdateScheme::kAdmm: {
+      AdmmOptions o;
+      o.prox = prox;
+      o.inner_iterations = admm_inner_iterations;
+      o.operation_fusion = false;
+      o.preinversion = false;
+      return std::make_unique<AdmmUpdate>(o);
+    }
+    case UpdateScheme::kMu:
+      return std::make_unique<MuUpdate>();
+    case UpdateScheme::kHals:
+      return std::make_unique<HalsUpdate>();
+    case UpdateScheme::kAls:
+      return std::make_unique<AlsUpdate>();
+    case UpdateScheme::kBpp:
+      return std::make_unique<BppUpdate>();
+  }
+  throw Error("unknown update scheme");
+}
+
+CstfFramework::CstfFramework(const SparseTensor& tensor,
+                             FrameworkOptions options)
+    : options_(options),
+      device_(options.device),
+      backend_(tensor, options.blco_block_capacity),
+      update_(make_update(options.scheme, options.prox,
+                          options.admm_inner_iterations)) {
+  AuntfOptions auntf;
+  auntf.rank = options_.rank;
+  auntf.max_iterations = options_.max_iterations;
+  auntf.fit_tolerance = options_.fit_tolerance;
+  auntf.compute_fit = options_.compute_fit;
+  auntf.seed = options_.seed;
+  driver_ = std::make_unique<Auntf>(device_, backend_, *update_, auntf);
+}
+
+AuntfResult CstfFramework::run() { return driver_->run(); }
+
+double CstfFramework::device_footprint_bytes() const {
+  const double rank = static_cast<double>(options_.rank);
+  double bytes = backend_.tensor().storage_bytes();
+  double max_rows = 0.0;
+  for (int m = 0; m < backend_.num_modes(); ++m) {
+    const auto rows = static_cast<double>(backend_.dim(m));
+    max_rows = std::max(max_rows, rows);
+    // Factor + persistent ADMM dual per mode.
+    bytes += 2.0 * rows * rank * sizeof(real_t);
+  }
+  // MTTKRP output + the two reusable update scratch buffers (sized by the
+  // longest mode), plus the R x R Gram/Cholesky matrices.
+  bytes += 3.0 * max_rows * rank * sizeof(real_t);
+  bytes += 4.0 * rank * rank * sizeof(real_t);
+  return bytes;
+}
+
+}  // namespace cstf

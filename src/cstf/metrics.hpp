@@ -1,0 +1,22 @@
+// Model-quality metrics for comparing factorizations.
+#pragma once
+
+#include "cstf/ktensor.hpp"
+
+namespace cstf {
+
+/// Factor Match Score between two Kruskal tensors of equal rank and shape.
+///
+/// FMS = (1/R) * sum over greedily matched component pairs (r, s) of
+///   penalty(lambda_r, lambda_s) * prod_m |cos(a^m_r, b^m_s)|
+/// with penalty = 1 - |la - lb| / max(la, lb). 1.0 means identical models up
+/// to component permutation; planted-recovery tests treat FMS > 0.95 as a
+/// successful recovery.
+double factor_match_score(const KTensor& a, const KTensor& b);
+
+/// Congruence (product of absolute column cosines across modes) between
+/// component r of `a` and component s of `b` — the matching kernel FMS uses.
+double component_congruence(const KTensor& a, index_t r, const KTensor& b,
+                            index_t s);
+
+}  // namespace cstf

@@ -1,0 +1,46 @@
+#include "cstf/sampled_fit.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cstf {
+
+real_t sampled_fit(const KTensor& model, const SparseTensor& x,
+                   const SampledFitOptions& options) {
+  CSTF_CHECK(model.num_modes() == x.num_modes());
+  CSTF_CHECK(options.sample_size > 0);
+  const index_t nnz = x.nnz();
+  const real_t x_sq = x.frobenius_norm_sq();
+  if (x_sq <= 0.0) return 1.0;
+
+  index_t coords[kMaxModes];
+  real_t inner = 0.0;
+  if (options.sample_size >= nnz) {
+    for (index_t i = 0; i < nnz; ++i) {
+      for (int m = 0; m < x.num_modes(); ++m) {
+        coords[m] = x.indices(m)[static_cast<std::size_t>(i)];
+      }
+      inner += x.values()[static_cast<std::size_t>(i)] * model.value_at(coords);
+    }
+  } else {
+    Rng rng(options.seed);
+    for (index_t s = 0; s < options.sample_size; ++s) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(nnz)));
+      for (int m = 0; m < x.num_modes(); ++m) {
+        coords[m] = x.indices(m)[i];
+      }
+      inner += x.values()[i] * model.value_at(coords);
+    }
+    inner *= static_cast<real_t>(nnz) /
+             static_cast<real_t>(options.sample_size);
+  }
+
+  const real_t model_sq = model.norm_sq();
+  const real_t residual_sq =
+      std::max<real_t>(0.0, x_sq - 2.0 * inner + model_sq);
+  return 1.0 - std::sqrt(residual_sq) / std::sqrt(x_sq);
+}
+
+}  // namespace cstf

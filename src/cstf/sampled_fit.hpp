@@ -1,0 +1,29 @@
+// Sampled fit estimation for tensors too large for an exact per-iteration
+// fit computation.
+//
+// The exact fit needs <X, X_hat> over every nonzero plus the model norm; for
+// billion-nonzero tensors (Amazon) that inner product costs as much as an
+// MTTKRP. The estimator samples `sample_size` nonzeros uniformly and rescales
+// — an unbiased estimate of the inner product whose error the caller can
+// drive down with the sample size.
+#pragma once
+
+#include "cstf/ktensor.hpp"
+#include "common/random.hpp"
+#include "tensor/coo.hpp"
+
+namespace cstf {
+
+struct SampledFitOptions {
+  index_t sample_size = 10000;
+  std::uint64_t seed = 1;
+};
+
+/// Estimated fit = 1 - ||X - X_hat|| / ||X||, with <X, X_hat> estimated from
+/// a uniform nonzero sample. ||X||^2 and ||X_hat||^2 are exact (the former is
+/// one cheap pass, the latter closed-form via Grams). When sample_size >=
+/// nnz, the computation degenerates to the exact fit.
+real_t sampled_fit(const KTensor& model, const SparseTensor& x,
+                   const SampledFitOptions& options = {});
+
+}  // namespace cstf

@@ -1,0 +1,46 @@
+#include "formats/alto.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/radix_sort.hpp"
+
+namespace cstf {
+
+AltoTensor::AltoTensor(const SparseTensor& coo, BitOrder order)
+    : encoding_(coo.dims(), order) {
+  const index_t n = coo.nnz();
+  CSTF_CHECK(n > 0);
+  const int modes = coo.num_modes();
+
+  std::vector<lco_t> lcos(static_cast<std::size_t>(n));
+  index_t coords[kMaxModes];
+  for (index_t i = 0; i < n; ++i) {
+    for (int m = 0; m < modes; ++m) {
+      coords[m] = coo.indices(m)[static_cast<std::size_t>(i)];
+    }
+    lcos[static_cast<std::size_t>(i)] = encoding_.encode(coords);
+  }
+
+  // Radix-sort the linearized stream (the construction bottleneck at
+  // FROSTT-scale nonzero counts), carrying the source index as payload.
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  radix_sort_pairs(lcos, perm);
+
+  linearized_.reserve(static_cast<std::size_t>(n));
+  values_.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const lco_t lco = lcos[static_cast<std::size_t>(i)];
+    const real_t v = coo.values()[static_cast<std::size_t>(
+        perm[static_cast<std::size_t>(i)])];
+    if (!linearized_.empty() && linearized_.back() == lco) {
+      values_.back() += v;  // merge duplicates
+    } else {
+      linearized_.push_back(lco);
+      values_.push_back(v);
+    }
+  }
+}
+
+}  // namespace cstf

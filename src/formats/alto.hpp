@@ -1,0 +1,43 @@
+// ALTO — Adaptive Linearized Tensor Order (Helal et al., ICS'21).
+//
+// The tensor is a single sorted array of bit-linearized coordinates plus
+// values. One copy serves MTTKRP for every mode (unlike CSF, which needs a
+// tree per root mode). This is the format the paper's modified-PLANC CPU
+// baseline uses for its sparse MTTKRP (Section 4).
+#pragma once
+
+#include <vector>
+
+#include "formats/linearize.hpp"
+
+namespace cstf {
+
+class AltoTensor {
+ public:
+  /// Builds from COO: linearize every nonzero, sort by linearized value,
+  /// merge duplicates. `order` selects the bit layout (interleaved by
+  /// default; mode-major kept for the ablation bench).
+  explicit AltoTensor(const SparseTensor& coo,
+                      BitOrder order = BitOrder::kInterleaved);
+
+  const LinearizedEncoding& encoding() const { return encoding_; }
+  int num_modes() const { return encoding_.num_modes(); }
+  const std::vector<index_t>& dims() const { return encoding_.dims(); }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+
+  const std::vector<lco_t>& linearized() const { return linearized_; }
+  const std::vector<real_t>& values() const { return values_; }
+
+  /// Bytes streamed by one full sweep (lco array + values).
+  double storage_bytes() const {
+    return static_cast<double>(linearized_.size()) * sizeof(lco_t) +
+           static_cast<double>(values_.size()) * sizeof(real_t);
+  }
+
+ private:
+  LinearizedEncoding encoding_;
+  std::vector<lco_t> linearized_;
+  std::vector<real_t> values_;
+};
+
+}  // namespace cstf

@@ -1,0 +1,48 @@
+#include "formats/bitpack.hpp"
+
+namespace cstf {
+
+int bits_for(std::uint64_t n) {
+  if (n <= 2) return 1;
+  int bits = 0;
+  std::uint64_t v = n - 1;
+  while (v) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+void BitWriter::push(std::uint64_t value) {
+  if (width_ < 64) {
+    CSTF_CHECK_MSG(value < (std::uint64_t{1} << width_),
+                   "value " << value << " exceeds " << width_ << " bits");
+  }
+  const std::size_t word = bit_pos_ >> 6;
+  const int offset = static_cast<int>(bit_pos_ & 63);
+  if (word >= words_.size()) words_.push_back(0);
+  words_[word] |= value << offset;
+  const int spill = offset + width_ - 64;
+  if (spill > 0) {
+    words_.push_back(value >> (width_ - spill));
+  }
+  bit_pos_ += static_cast<std::size_t>(width_);
+  ++count_;
+}
+
+std::uint64_t BitReader::get(std::size_t index) const {
+  const std::size_t bit = index * static_cast<std::size_t>(width_);
+  const std::size_t word = bit >> 6;
+  const int offset = static_cast<int>(bit & 63);
+  std::uint64_t value = words_[word] >> offset;
+  const int spill = offset + width_ - 64;
+  if (spill > 0) {
+    value |= words_[word + 1] << (width_ - spill);
+  }
+  if (width_ < 64) {
+    value &= (std::uint64_t{1} << width_) - 1;
+  }
+  return value;
+}
+
+}  // namespace cstf

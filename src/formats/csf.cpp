@@ -1,0 +1,95 @@
+#include "formats/csf.hpp"
+
+#include "common/error.hpp"
+
+namespace cstf {
+
+CsfTensor::CsfTensor(const SparseTensor& coo, int root_mode) {
+  const int modes = coo.num_modes();
+  CSTF_CHECK(root_mode >= 0 && root_mode < modes);
+  CSTF_CHECK(coo.nnz() > 0);
+
+  mode_order_.push_back(root_mode);
+  for (int m = 0; m < modes; ++m) {
+    if (m != root_mode) mode_order_.push_back(m);
+  }
+  dims_ = coo.dims();
+
+  SparseTensor sorted = coo;
+  sorted.sort_by_order(mode_order_);
+  sorted.dedup_sum();
+  const index_t n = sorted.nnz();
+
+  fids_.resize(static_cast<std::size_t>(modes));
+  fptr_.resize(static_cast<std::size_t>(modes - 1));
+  values_ = sorted.values();
+
+  // The leaf level stores one fid per nonzero.
+  fids_[static_cast<std::size_t>(modes - 1)] =
+      sorted.indices(mode_order_[static_cast<std::size_t>(modes - 1)]);
+
+  // Build upper levels bottom-up conceptually, but a single forward scan
+  // works: a new node opens at level l whenever any coordinate in modes
+  // order[0..l] changes from the previous nonzero.
+  for (int l = 0; l < modes - 1; ++l) {
+    auto& fids = fids_[static_cast<std::size_t>(l)];
+    auto& fptr = fptr_[static_cast<std::size_t>(l)];
+    fids.clear();
+    fptr.clear();
+  }
+
+  // child_count[l] tracks how many nodes exist so far at level l+1.
+  for (index_t i = 0; i < n; ++i) {
+    int first_change = modes;  // deepest level whose prefix is unchanged + 1
+    if (i == 0) {
+      first_change = 0;
+    } else {
+      for (int l = 0; l < modes; ++l) {
+        const auto& idx =
+            sorted.indices(mode_order_[static_cast<std::size_t>(l)]);
+        if (idx[static_cast<std::size_t>(i)] != idx[static_cast<std::size_t>(i - 1)]) {
+          first_change = l;
+          break;
+        }
+      }
+    }
+    // A change at level l opens new nodes at levels l..modes-1. The leaf
+    // level (modes-1) was materialized wholesale above, so only levels
+    // < modes-1 need explicit nodes; each records where its children begin.
+    for (int l = first_change; l < modes - 1; ++l) {
+      const auto& idx = sorted.indices(mode_order_[static_cast<std::size_t>(l)]);
+      fids_[static_cast<std::size_t>(l)].push_back(
+          idx[static_cast<std::size_t>(i)]);
+      const index_t child_pos =
+          (l == modes - 2)
+              ? i
+              : static_cast<index_t>(fids_[static_cast<std::size_t>(l + 1)].size());
+      fptr_[static_cast<std::size_t>(l)].push_back(child_pos);
+    }
+    // Exact duplicates are impossible after dedup_sum, so first_change is
+    // always < modes for i > 0.
+    CSTF_CHECK(first_change < modes);
+  }
+
+  // Close the child ranges with end sentinels.
+  for (int l = 0; l < modes - 1; ++l) {
+    const index_t end =
+        (l == modes - 2)
+            ? n
+            : static_cast<index_t>(fids_[static_cast<std::size_t>(l + 1)].size());
+    fptr_[static_cast<std::size_t>(l)].push_back(end);
+  }
+}
+
+double CsfTensor::storage_bytes() const {
+  double bytes = static_cast<double>(values_.size()) * sizeof(real_t);
+  for (const auto& fids : fids_) {
+    bytes += static_cast<double>(fids.size()) * sizeof(index_t);
+  }
+  for (const auto& fptr : fptr_) {
+    bytes += static_cast<double>(fptr.size()) * sizeof(index_t);
+  }
+  return bytes;
+}
+
+}  // namespace cstf

@@ -1,0 +1,62 @@
+// Compressed Sparse Fiber (CSF) — SPLATT's sparse tensor format.
+//
+// A CSF tensor is a forest: level 0 holds the distinct indices of the root
+// mode, each deeper level the distinct index continuations, and the leaves
+// hold values. MTTKRP for the root mode walks each tree once, giving
+// race-free parallelism over root fibers — the structure the SPLATT CPU
+// baseline in Section 5.3 relies on.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "tensor/coo.hpp"
+
+namespace cstf {
+
+/// One CSF representation, rooted at a chosen mode.
+class CsfTensor {
+ public:
+  /// Builds from COO with `root_mode` as the tree root; the remaining modes
+  /// follow in ascending order (SPLATT's default ordering). The input is
+  /// copied and sorted internally.
+  CsfTensor(const SparseTensor& coo, int root_mode);
+
+  int num_modes() const { return static_cast<int>(mode_order_.size()); }
+  int root_mode() const { return mode_order_[0]; }
+  const std::vector<int>& mode_order() const { return mode_order_; }
+  const std::vector<index_t>& dims() const { return dims_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+
+  /// Number of nodes at tree level `l` (level 0 = root fibers).
+  index_t num_nodes(int level) const {
+    return static_cast<index_t>(fids_[static_cast<std::size_t>(level)].size());
+  }
+
+  /// Index value (coordinate in mode_order()[level]) of each node.
+  const std::vector<index_t>& fids(int level) const {
+    return fids_[static_cast<std::size_t>(level)];
+  }
+
+  /// Child ranges: children of node i at level l are
+  /// [fptr(l)[i], fptr(l)[i+1]) at level l+1. Defined for l in
+  /// [0, num_modes()-2]; the last level's "children" are value slots.
+  const std::vector<index_t>& fptr(int level) const {
+    return fptr_[static_cast<std::size_t>(level)];
+  }
+
+  const std::vector<real_t>& values() const { return values_; }
+
+  /// Total bytes of the structure (pointers + ids + values) — the quantity
+  /// the CPU MTTKRP streams.
+  double storage_bytes() const;
+
+ private:
+  std::vector<int> mode_order_;
+  std::vector<index_t> dims_;
+  std::vector<std::vector<index_t>> fids_;   // per level
+  std::vector<std::vector<index_t>> fptr_;   // per level except the last
+  std::vector<real_t> values_;
+};
+
+}  // namespace cstf

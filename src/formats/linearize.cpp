@@ -1,0 +1,86 @@
+#include "formats/linearize.hpp"
+
+#include "common/error.hpp"
+#include "formats/bitpack.hpp"
+
+namespace cstf {
+
+LinearizedEncoding::LinearizedEncoding(const std::vector<index_t>& dims,
+                                       BitOrder order)
+    : dims_(dims), order_(order) {
+  CSTF_CHECK(!dims_.empty());
+  const int modes = num_modes();
+  bits_.resize(static_cast<std::size_t>(modes));
+  masks_.assign(static_cast<std::size_t>(modes), 0);
+  positions_.resize(static_cast<std::size_t>(modes));
+  int total = 0;
+  for (int m = 0; m < modes; ++m) {
+    bits_[static_cast<std::size_t>(m)] =
+        bits_for(static_cast<std::uint64_t>(dims_[static_cast<std::size_t>(m)]));
+    total += bits_[static_cast<std::size_t>(m)];
+  }
+  CSTF_CHECK_MSG(total <= 64, "linearized coordinate needs " << total
+                                                             << " bits (max 64)");
+  total_bits_ = total;
+
+  if (order_ == BitOrder::kInterleaved) {
+    // Round-robin interleave from the LSB: repeatedly give the next bit
+    // position to each mode that still has unassigned bits.
+    std::vector<int> assigned(static_cast<std::size_t>(modes), 0);
+    int pos = 0;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (int m = 0; m < modes; ++m) {
+        auto mi = static_cast<std::size_t>(m);
+        if (assigned[mi] < bits_[mi]) {
+          positions_[mi].push_back(pos);
+          masks_[mi] |= lco_t{1} << pos;
+          ++pos;
+          ++assigned[mi];
+          any = true;
+        }
+      }
+    }
+  } else {
+    // Mode-major: last mode in the low bits, mode 0 on top — the linearized
+    // order coincides with a mode-0-first lexicographic sort.
+    int pos = 0;
+    for (int m = modes - 1; m >= 0; --m) {
+      auto mi = static_cast<std::size_t>(m);
+      for (int b = 0; b < bits_[mi]; ++b) {
+        positions_[mi].push_back(pos);
+        masks_[mi] |= lco_t{1} << pos;
+        ++pos;
+      }
+    }
+  }
+}
+
+lco_t LinearizedEncoding::encode(const index_t* coords) const {
+  lco_t lco = 0;
+  for (int m = 0; m < num_modes(); ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    const auto c = static_cast<lco_t>(coords[m]);
+    for (int b = 0; b < bits_[mi]; ++b) {
+      lco |= ((c >> b) & 1u) << positions_[mi][static_cast<std::size_t>(b)];
+    }
+  }
+  return lco;
+}
+
+index_t LinearizedEncoding::decode(lco_t lco, int mode) const {
+  const auto mi = static_cast<std::size_t>(mode);
+  lco_t c = 0;
+  for (int b = 0; b < bits_[mi]; ++b) {
+    c |= ((lco >> positions_[mi][static_cast<std::size_t>(b)]) & 1u)
+         << b;
+  }
+  return static_cast<index_t>(c);
+}
+
+void LinearizedEncoding::decode_all(lco_t lco, index_t* coords) const {
+  for (int m = 0; m < num_modes(); ++m) coords[m] = decode(lco, m);
+}
+
+}  // namespace cstf

@@ -1,0 +1,206 @@
+#include "la/blas.hpp"
+
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace cstf::la {
+
+index_t op_rows(const Matrix& a, Op op) {
+  return op == Op::kNone ? a.rows() : a.cols();
+}
+index_t op_cols(const Matrix& a, Op op) {
+  return op == Op::kNone ? a.cols() : a.rows();
+}
+
+namespace {
+
+// Core kernels, one per (op_a, op_b) combination, column-parallel over C.
+// The factor-matrix shapes in cSTF are tall-skinny (I x R with small R), so
+// parallelizing across C's columns when C is RxR would starve the pool; the
+// NN kernel therefore parallelizes across C's rows in blocks instead when C
+// is tall.
+
+void gemm_nn(real_t alpha, const Matrix& a, const Matrix& b, real_t beta,
+             Matrix& c) {
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  // C(:,j) = beta*C(:,j) + alpha * sum_l A(:,l) * B(l,j): axpy over columns,
+  // fully sequential memory access in A and C. Parallel over row blocks of C
+  // so tall C (m >> n) still spreads across workers.
+  parallel_for_blocked(0, m, [&](index_t lo, index_t hi) {
+    for (index_t j = 0; j < n; ++j) {
+      real_t* cj = c.col(j);
+      if (beta == 0.0) {
+        for (index_t i = lo; i < hi; ++i) cj[i] = 0.0;
+      } else if (beta != 1.0) {
+        for (index_t i = lo; i < hi; ++i) cj[i] *= beta;
+      }
+      for (index_t l = 0; l < k; ++l) {
+        const real_t ab = alpha * b(l, j);
+        if (ab == 0.0) continue;
+        const real_t* al = a.col(l);
+        for (index_t i = lo; i < hi; ++i) cj[i] += ab * al[i];
+      }
+    }
+  });
+}
+
+void gemm_tn(real_t alpha, const Matrix& a, const Matrix& b, real_t beta,
+             Matrix& c) {
+  // C = alpha * A^T * B: C(i,j) = dot(A(:,i), B(:,j)). C is small (RxR-ish);
+  // parallelize over C's columns.
+  const index_t m = c.rows(), n = c.cols(), k = a.rows();
+  parallel_for(0, n, [&](index_t j) {
+    const real_t* bj = b.col(j);
+    real_t* cj = c.col(j);
+    for (index_t i = 0; i < m; ++i) {
+      const real_t* ai = a.col(i);
+      real_t acc = 0.0;
+      for (index_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      cj[i] = alpha * acc + (beta == 0.0 ? 0.0 : beta * cj[i]);
+    }
+  }, /*grain=*/1);
+}
+
+void gemm_nt(real_t alpha, const Matrix& a, const Matrix& b, real_t beta,
+             Matrix& c) {
+  // C = alpha * A * B^T: axpy formulation, row-blocked like NN.
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  parallel_for_blocked(0, m, [&](index_t lo, index_t hi) {
+    for (index_t j = 0; j < n; ++j) {
+      real_t* cj = c.col(j);
+      if (beta == 0.0) {
+        for (index_t i = lo; i < hi; ++i) cj[i] = 0.0;
+      } else if (beta != 1.0) {
+        for (index_t i = lo; i < hi; ++i) cj[i] *= beta;
+      }
+      for (index_t l = 0; l < k; ++l) {
+        const real_t ab = alpha * b(j, l);
+        if (ab == 0.0) continue;
+        const real_t* al = a.col(l);
+        for (index_t i = lo; i < hi; ++i) cj[i] += ab * al[i];
+      }
+    }
+  });
+}
+
+void gemm_tt(real_t alpha, const Matrix& a, const Matrix& b, real_t beta,
+             Matrix& c) {
+  // C(i,j) = alpha * dot(A(:,i), B(j,:)); B row access is strided but TT only
+  // appears in tests, never in a kernel hot path.
+  const index_t m = c.rows(), n = c.cols(), k = a.rows();
+  parallel_for(0, n, [&](index_t j) {
+    real_t* cj = c.col(j);
+    for (index_t i = 0; i < m; ++i) {
+      const real_t* ai = a.col(i);
+      real_t acc = 0.0;
+      for (index_t l = 0; l < k; ++l) acc += ai[l] * b(j, l);
+      cj[i] = alpha * acc + (beta == 0.0 ? 0.0 : beta * cj[i]);
+    }
+  }, /*grain=*/1);
+}
+
+}  // namespace
+
+void gemm(Op op_a, Op op_b, real_t alpha, const Matrix& a, const Matrix& b,
+          real_t beta, Matrix& c) {
+  CSTF_CHECK_MSG(op_cols(a, op_a) == op_rows(b, op_b),
+                 "gemm inner dims: " << op_cols(a, op_a) << " vs "
+                                     << op_rows(b, op_b));
+  CSTF_CHECK_MSG(c.rows() == op_rows(a, op_a) && c.cols() == op_cols(b, op_b),
+                 "gemm output shape " << c.rows() << "x" << c.cols());
+  if (op_a == Op::kNone && op_b == Op::kNone) return gemm_nn(alpha, a, b, beta, c);
+  if (op_a == Op::kTranspose && op_b == Op::kNone) return gemm_tn(alpha, a, b, beta, c);
+  if (op_a == Op::kNone && op_b == Op::kTranspose) return gemm_nt(alpha, a, b, beta, c);
+  return gemm_tt(alpha, a, b, beta, c);
+}
+
+void gram(const Matrix& a, Matrix& s) {
+  const index_t r = a.cols();
+  CSTF_CHECK(s.rows() == r && s.cols() == r);
+  const index_t n = a.rows();
+  // Upper triangle, then mirror. Parallel over columns of S.
+  parallel_for(0, r, [&](index_t j) {
+    const real_t* aj = a.col(j);
+    for (index_t i = 0; i <= j; ++i) {
+      const real_t* ai = a.col(i);
+      real_t acc = 0.0;
+      for (index_t l = 0; l < n; ++l) acc += ai[l] * aj[l];
+      s(i, j) = acc;
+    }
+  }, /*grain=*/1);
+  for (index_t j = 0; j < r; ++j) {
+    for (index_t i = j + 1; i < r; ++i) s(i, j) = s(j, i);
+  }
+}
+
+void gemv(Op op_a, real_t alpha, const Matrix& a, const real_t* x, real_t beta,
+          real_t* y) {
+  const index_t m = op_rows(a, op_a);
+  if (op_a == Op::kNone) {
+    if (beta == 0.0) {
+      for (index_t i = 0; i < m; ++i) y[i] = 0.0;
+    } else if (beta != 1.0) {
+      scal(m, beta, y);
+    }
+    for (index_t j = 0; j < a.cols(); ++j) {
+      axpy(a.rows(), alpha * x[j], a.col(j), y);
+    }
+  } else {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      const real_t v = alpha * dot(a.rows(), a.col(j), x);
+      y[j] = v + (beta == 0.0 ? 0.0 : beta * y[j]);
+    }
+  }
+}
+
+void geam(Op op_a, Op op_b, real_t alpha, const Matrix& a, real_t beta,
+          const Matrix& b, Matrix& c) {
+  CSTF_CHECK(c.rows() == op_rows(a, op_a) && c.cols() == op_cols(a, op_a));
+  CSTF_CHECK(op_rows(a, op_a) == op_rows(b, op_b) &&
+             op_cols(a, op_a) == op_cols(b, op_b));
+  const index_t m = c.rows(), n = c.cols();
+  if (op_a == Op::kNone && op_b == Op::kNone) {
+    const real_t* pa = a.data();
+    const real_t* pb = b.data();
+    real_t* pc = c.data();
+    parallel_for_blocked(0, m * n, [&](index_t lo, index_t hi) {
+      for (index_t i = lo; i < hi; ++i) pc[i] = alpha * pa[i] + beta * pb[i];
+    });
+    return;
+  }
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      const real_t va = (op_a == Op::kNone) ? a(i, j) : a(j, i);
+      const real_t vb = (op_b == Op::kNone) ? b(i, j) : b(j, i);
+      c(i, j) = alpha * va + beta * vb;
+    }
+  }
+}
+
+void axpy(index_t n, real_t alpha, const real_t* x, real_t* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal(index_t n, real_t alpha, real_t* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+real_t dot(index_t n, const real_t* x, const real_t* y) {
+  real_t acc = 0.0;
+  for (index_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+real_t nrm2(index_t n, const real_t* x) { return std::sqrt(dot(n, x, x)); }
+
+real_t frobenius_norm_sq(const Matrix& a) {
+  const real_t* p = a.data();
+  const index_t n = a.size();
+  return parallel_sum(0, n, [&](index_t i) { return p[i] * p[i]; });
+}
+
+real_t frobenius_norm(const Matrix& a) { return std::sqrt(frobenius_norm_sq(a)); }
+
+}  // namespace cstf::la

@@ -1,0 +1,48 @@
+// Cholesky factorization, triangular solves, and SPD inversion.
+//
+// These are the LAPACK/cuSOLVER pieces the ADMM update needs:
+//   cholesky_factor   — dpotrf (lower)
+//   trsm_lower/upper  — dtrsm, the forward/backward substitutions of a
+//                       Cholesky solve (Algorithm 2 line 6)
+//   cholesky_solve    — dpotrs
+//   cholesky_invert   — explicit (LL^T)^{-1}, the pre-inversion step of
+//                       cuADMM (Algorithm 3 line 4)
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace cstf::la {
+
+/// Computes the lower-triangular L with S = L*L^T. `l` gets the full matrix
+/// with zeros above the diagonal. Throws cstf::Error if S is not positive
+/// definite (non-positive pivot).
+void cholesky_factor(const Matrix& s, Matrix& l);
+
+/// Solves L * X = B in place (forward substitution), L lower triangular.
+/// X and B share storage `b`; each column is independent (parallel).
+void trsm_lower(const Matrix& l, Matrix& b);
+
+/// Solves L^T * X = B in place (backward substitution), L lower triangular.
+void trsm_lower_transpose(const Matrix& l, Matrix& b);
+
+/// Solves (L*L^T) * X = B in place given the Cholesky factor L
+/// (forward then backward substitution) — one dpotrs.
+void cholesky_solve(const Matrix& l, Matrix& b);
+
+/// Right-side Cholesky solve: X * (L*L^T) = B in place, B of shape I x R
+/// with L of order R. This is the orientation the ADMM update needs — H is
+/// tall-skinny and the system matrix S + rho*I is R x R — and avoids the
+/// transpose copies a left-side dpotrs would force. Rows of B are
+/// independent; each runs a forward then a backward substitution chain.
+void cholesky_solve_right(const Matrix& l, Matrix& b);
+
+/// Explicit inverse of S = L*L^T given L, via Cholesky-solving the identity.
+/// This is the cuADMM pre-inversion: the result lets the iteration replace
+/// two triangular solves per step with one GEMM.
+void cholesky_invert(const Matrix& l, Matrix& inverse);
+
+/// Convenience: adds `rho` to the diagonal of `s` in place (the diagonal
+/// loading S + rho*I from Algorithm 2 line 3).
+void add_diagonal(Matrix& s, real_t rho);
+
+}  // namespace cstf::la

@@ -1,0 +1,76 @@
+#include "la/elementwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+
+namespace cstf::la {
+
+void hadamard(const Matrix& a, const Matrix& b, Matrix& c) {
+  CSTF_CHECK(a.same_shape(b) && a.same_shape(c));
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  real_t* pc = c.data();
+  parallel_for_blocked(0, a.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) pc[i] = pa[i] * pb[i];
+  });
+}
+
+void hadamard_inplace(Matrix& c, const Matrix& a) {
+  CSTF_CHECK(a.same_shape(c));
+  const real_t* pa = a.data();
+  real_t* pc = c.data();
+  parallel_for_blocked(0, a.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) pc[i] *= pa[i];
+  });
+}
+
+void safe_divide(const Matrix& a, const Matrix& b, real_t eps, Matrix& c) {
+  CSTF_CHECK(a.same_shape(b) && a.same_shape(c));
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  real_t* pc = c.data();
+  parallel_for_blocked(0, a.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) pc[i] = pa[i] / std::max(pb[i], eps);
+  });
+}
+
+void clamp_min(Matrix& a, real_t floor) {
+  real_t* p = a.data();
+  parallel_for_blocked(0, a.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) p[i] = std::max(p[i], floor);
+  });
+}
+
+void column_norms(const Matrix& a, real_t* norms) {
+  parallel_for(0, a.cols(), [&](index_t j) {
+    const real_t* col = a.col(j);
+    real_t acc = 0.0;
+    for (index_t i = 0; i < a.rows(); ++i) acc += col[i] * col[i];
+    norms[j] = std::sqrt(acc);
+  }, /*grain=*/1);
+}
+
+void column_max_norms(const Matrix& a, real_t* norms) {
+  parallel_for(0, a.cols(), [&](index_t j) {
+    const real_t* col = a.col(j);
+    real_t m = 0.0;
+    for (index_t i = 0; i < a.rows(); ++i) m = std::max(m, std::abs(col[i]));
+    norms[j] = m;
+  }, /*grain=*/1);
+}
+
+void scale_columns_inv(Matrix& a, real_t* norms, real_t eps) {
+  parallel_for(0, a.cols(), [&](index_t j) {
+    if (norms[j] <= eps) {
+      norms[j] = 1.0;
+      return;
+    }
+    const real_t inv = 1.0 / norms[j];
+    real_t* col = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) col[i] *= inv;
+  }, /*grain=*/1);
+}
+
+}  // namespace cstf::la

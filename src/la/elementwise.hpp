@@ -1,0 +1,35 @@
+// Elementwise matrix kernels shared by the update algorithms.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace cstf::la {
+
+/// C = A .* B (Hadamard product). C may alias A or B.
+void hadamard(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = C .* A (in-place Hadamard accumulate-multiply).
+void hadamard_inplace(Matrix& c, const Matrix& a);
+
+/// C = A ./ max(B, eps) — guarded elementwise division, the building block of
+/// the multiplicative-update (MU) rule where division by ~0 must not produce
+/// inf/NaN.
+void safe_divide(const Matrix& a, const Matrix& b, real_t eps, Matrix& c);
+
+/// Clamps every element to be >= `floor` in place (projection onto the
+/// non-negative orthant when floor == 0).
+void clamp_min(Matrix& a, real_t floor);
+
+/// Per-column Euclidean norms of `a`, written to `norms[0..cols)`.
+void column_norms(const Matrix& a, real_t* norms);
+
+/// Per-column max-abs values of `a`, written to `norms[0..cols)` — SPLATT
+/// normalizes with the max norm on all but the final outer iteration.
+void column_max_norms(const Matrix& a, real_t* norms);
+
+/// Divides column j of `a` by norms[j] (columns with norm <= eps are left
+/// unscaled and their reported norm set to 1, so degenerate factors do not
+/// poison lambda).
+void scale_columns_inv(Matrix& a, real_t* norms, real_t eps = 1e-12);
+
+}  // namespace cstf::la

@@ -1,0 +1,78 @@
+#include "mttkrp/alto_mttkrp.hpp"
+
+#include "common/error.hpp"
+#include "parallel/atomic.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace cstf {
+
+simgpu::KernelStats alto_mttkrp_stats(const AltoTensor& alto,
+                                      const std::vector<Matrix>& factors,
+                                      int mode) {
+  const int modes = alto.num_modes();
+  const auto rank = static_cast<double>(factors[0].cols());
+  const auto nnz = static_cast<double>(alto.nnz());
+  simgpu::KernelStats stats;
+  stats.flops = nnz * rank * static_cast<double>(modes + 1);
+  stats.bytes_streamed = alto.storage_bytes();
+  // Factor-row gathers are random; output accumulation is thread-local in
+  // the CPU kernel (ALTO's line partitioning), merged with one streaming
+  // pass over the output.
+  stats.bytes_random =
+      nnz * rank * simgpu::kWord * static_cast<double>(modes - 1);
+  stats.bytes_streamed +=
+      static_cast<double>(alto.dims()[static_cast<std::size_t>(mode)]) * rank *
+      simgpu::kWord;
+  double factor_bytes = 0.0;
+  for (int m = 0; m < modes; ++m) {
+    if (m == mode) continue;
+    factor_bytes +=
+        static_cast<double>(factors[static_cast<std::size_t>(m)].size()) *
+        simgpu::kWord;
+  }
+  stats.working_set_bytes =
+      factor_bytes + static_cast<double>(alto.dims()[static_cast<std::size_t>(
+                         mode)]) *
+                         rank * simgpu::kWord;
+  stats.parallel_items = nnz;
+  // Bit-decode plus gather per nonzero: scalar-bound on CPUs.
+  stats.compute_efficiency = 0.4;
+  return stats;
+}
+
+void mttkrp_alto(const AltoTensor& alto, const std::vector<Matrix>& factors,
+                 int mode, Matrix& out) {
+  const int modes = alto.num_modes();
+  CSTF_CHECK(mode >= 0 && mode < modes);
+  CSTF_CHECK(static_cast<int>(factors.size()) == modes);
+  const index_t rank = factors[0].cols();
+  CSTF_CHECK(out.rows() == alto.dims()[static_cast<std::size_t>(mode)] &&
+             out.cols() == rank);
+  out.set_all(0.0);
+
+  const auto& enc = alto.encoding();
+  const auto& lcos = alto.linearized();
+  const auto& vals = alto.values();
+
+  parallel_for_blocked(0, alto.nnz(), [&](index_t lo, index_t hi) {
+    std::vector<real_t> row(static_cast<std::size_t>(rank));
+    index_t coords[kMaxModes];
+    for (index_t i = lo; i < hi; ++i) {
+      enc.decode_all(lcos[static_cast<std::size_t>(i)], coords);
+      const real_t v = vals[static_cast<std::size_t>(i)];
+      for (index_t r = 0; r < rank; ++r) row[static_cast<std::size_t>(r)] = v;
+      for (int m = 0; m < modes; ++m) {
+        if (m == mode) continue;
+        const Matrix& f = factors[static_cast<std::size_t>(m)];
+        for (index_t r = 0; r < rank; ++r) {
+          row[static_cast<std::size_t>(r)] *= f(coords[m], r);
+        }
+      }
+      for (index_t r = 0; r < rank; ++r) {
+        atomic_add(&out(coords[mode], r), row[static_cast<std::size_t>(r)]);
+      }
+    }
+  });
+}
+
+}  // namespace cstf

@@ -1,0 +1,25 @@
+// ALTO-format MTTKRP (the CPU kernel of the paper's modified PLANC baseline).
+#pragma once
+
+#include <vector>
+
+#include "formats/alto.hpp"
+#include "la/matrix.hpp"
+#include "simgpu/counters.hpp"
+
+namespace cstf {
+
+/// MTTKRP over the linearized stream: one pass decodes each nonzero's
+/// coordinates from its bit-packed lco and scatters into `out` with atomics.
+/// A single ALTO copy serves every mode. `out` must be dims()[mode] x R.
+void mttkrp_alto(const AltoTensor& alto, const std::vector<Matrix>& factors,
+                 int mode, Matrix& out);
+
+/// Cost-model statistics for one mttkrp_alto call: linearized stream read
+/// once, factor gathers and the atomic output scatter charged as random
+/// traffic.
+simgpu::KernelStats alto_mttkrp_stats(const AltoTensor& alto,
+                                      const std::vector<Matrix>& factors,
+                                      int mode);
+
+}  // namespace cstf

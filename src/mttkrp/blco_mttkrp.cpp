@@ -1,0 +1,170 @@
+#include "mttkrp/blco_mttkrp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "parallel/atomic.hpp"
+#include "simgpu/launch.hpp"
+
+namespace cstf {
+
+simgpu::KernelStats blco_mttkrp_stats(const BlcoTensor& blco,
+                                      const std::vector<Matrix>& factors,
+                                      int mode) {
+  const int modes = blco.num_modes();
+  const auto rank = static_cast<double>(factors[0].cols());
+  const auto nnz = static_cast<double>(blco.nnz());
+  simgpu::KernelStats stats;
+  // Per nonzero: (modes-1) row scalings + value scale + accumulate add.
+  stats.flops = nnz * rank * static_cast<double>(modes + 1);
+  // Compressed tensor is streamed once.
+  stats.bytes_streamed = blco.storage_bytes();
+  // Factor-row gathers and output scatter are random accesses whose reuse is
+  // bounded by the live factor working set.
+  double factor_bytes = 0.0;
+  for (int m = 0; m < modes; ++m) {
+    if (m == mode) continue;
+    factor_bytes +=
+        static_cast<double>(factors[static_cast<std::size_t>(m)].size()) *
+        simgpu::kWord;
+  }
+  const double out_bytes =
+      static_cast<double>(blco.dims()[static_cast<std::size_t>(mode)]) * rank *
+      simgpu::kWord;
+  stats.bytes_random = nnz * rank * simgpu::kWord *
+                           static_cast<double>(modes - 1)  // gathers
+                       + nnz * rank * simgpu::kWord * 2.0;  // scatter RMW
+  stats.working_set_bytes = factor_bytes + out_bytes;
+  stats.parallel_items = nnz;
+  // Warp-level gathers and atomics keep the SMs below FMA peak.
+  stats.compute_efficiency = 0.5;
+  return stats;
+}
+
+namespace {
+
+// Scales the extensive parts of a per-call record to a fraction of the
+// nonzeros (used to pro-rate the full-tensor stats over a streamed batch).
+simgpu::KernelStats prorate(const simgpu::KernelStats& stats, double share) {
+  simgpu::KernelStats scaled = stats;
+  scaled.flops *= share;
+  scaled.bytes_streamed *= share;
+  scaled.bytes_reused *= share;
+  scaled.bytes_random *= share;
+  scaled.parallel_items *= share;
+  return scaled;
+}
+
+// Core kernel over a contiguous block range [block_lo, block_lo + grid):
+// shared by the resident and streamed entry points. `stats` must describe
+// exactly this range's work.
+void launch_blco_range(simgpu::Device& dev, const char* name,
+                       const BlcoTensor& blco,
+                       const std::vector<Matrix>& factors, int mode,
+                       Matrix& out, index_t block_lo, index_t grid,
+                       simgpu::KernelStats stats) {
+  const int modes = blco.num_modes();
+  const index_t rank = factors[0].cols();
+  const auto& enc = blco.encoding();
+  constexpr index_t kThreads = 128;
+  CSTF_CHECK(rank <= 64);
+  simgpu::LaunchConfig cfg{.grid_dim = grid, .block_dim = kThreads};
+  simgpu::launch(dev, name, cfg, stats, [&](const simgpu::KernelCtx& ctx) {
+    const BlcoBlock& blk = blco.block(block_lo + ctx.block_idx);
+    const BitReader deltas(blk.packed_deltas.data(), blk.delta_bits);
+    real_t row[64];
+    index_t coords[kMaxModes];
+    for (index_t i = ctx.thread_idx; i < blk.count; i += ctx.block_dim) {
+      const lco_t lco = blk.base + deltas.get(static_cast<std::size_t>(i));
+      enc.decode_all(lco, coords);
+      const real_t v =
+          blco.values()[static_cast<std::size_t>(blk.value_offset + i)];
+      for (index_t r = 0; r < rank; ++r) row[r] = v;
+      for (int m = 0; m < modes; ++m) {
+        if (m == mode) continue;
+        const Matrix& f = factors[static_cast<std::size_t>(m)];
+        for (index_t r = 0; r < rank; ++r) row[r] *= f(coords[m], r);
+      }
+      for (index_t r = 0; r < rank; ++r) {
+        atomic_add(&out(coords[mode], r), row[r]);
+      }
+    }
+  });
+}
+
+// cudaMemset-equivalent launch clearing the output.
+void zero_output(simgpu::Device& dev, Matrix& out) {
+  simgpu::KernelStats zero_stats;
+  zero_stats.bytes_streamed = static_cast<double>(out.size()) * simgpu::kWord;
+  zero_stats.parallel_items = static_cast<double>(out.size());
+  simgpu::launch(dev, "mttkrp_zero_out",
+                 simgpu::LaunchConfig{.grid_dim = 1, .block_dim = 1},
+                 zero_stats,
+                 [&](const simgpu::KernelCtx&) { out.set_all(0.0); });
+}
+
+void check_mttkrp_args(const BlcoTensor& blco,
+                       const std::vector<Matrix>& factors, int mode,
+                       const Matrix& out) {
+  const int modes = blco.num_modes();
+  CSTF_CHECK(mode >= 0 && mode < modes);
+  CSTF_CHECK(static_cast<int>(factors.size()) == modes);
+  CSTF_CHECK(out.rows() == blco.dims()[static_cast<std::size_t>(mode)] &&
+             out.cols() == factors[0].cols());
+}
+
+}  // namespace
+
+void mttkrp_blco(simgpu::Device& dev, const BlcoTensor& blco,
+                 const std::vector<Matrix>& factors, int mode, Matrix& out) {
+  check_mttkrp_args(blco, factors, mode, out);
+  zero_output(dev, out);
+  launch_blco_range(dev, "mttkrp_blco", blco, factors, mode, out, 0,
+                    blco.num_blocks(), blco_mttkrp_stats(blco, factors, mode));
+}
+
+index_t mttkrp_blco_streamed(simgpu::Device& dev, const BlcoTensor& blco,
+                             const std::vector<Matrix>& factors, int mode,
+                             Matrix& out, double device_budget_bytes) {
+  CSTF_CHECK(device_budget_bytes > 0.0);
+  check_mttkrp_args(blco, factors, mode, out);
+  const double tensor_bytes = blco.storage_bytes();
+  if (tensor_bytes <= device_budget_bytes) {
+    mttkrp_blco(dev, blco, factors, mode, out);
+    return 1;
+  }
+
+  zero_output(dev, out);
+  auto batches =
+      static_cast<index_t>(std::ceil(tensor_bytes / device_budget_bytes));
+  batches = std::min(batches, blco.num_blocks());
+  const index_t per_batch = (blco.num_blocks() + batches - 1) / batches;
+
+  const simgpu::KernelStats full_stats =
+      blco_mttkrp_stats(blco, factors, mode);
+  index_t used = 0;
+  for (index_t lo = 0; lo < blco.num_blocks(); lo += per_batch) {
+    const index_t grid = std::min<index_t>(per_batch, blco.num_blocks() - lo);
+    // Pro-rate the full-tensor traffic over this batch's nonzero share and
+    // add the host-link staging of the batch's compressed bytes. The cost
+    // model overlaps staging with compute (double buffering).
+    double batch_nnz = 0.0, batch_bytes = 0.0;
+    for (index_t b = lo; b < lo + grid; ++b) {
+      const BlcoBlock& blk = blco.block(b);
+      batch_nnz += static_cast<double>(blk.count);
+      batch_bytes += static_cast<double>(blk.packed_deltas.size()) *
+                         sizeof(std::uint64_t) +
+                     static_cast<double>(blk.count) * sizeof(real_t);
+    }
+    simgpu::KernelStats stats =
+        prorate(full_stats, batch_nnz / static_cast<double>(blco.nnz()));
+    stats.host_link_bytes = batch_bytes;
+    launch_blco_range(dev, "mttkrp_blco_streamed", blco, factors, mode, out,
+                      lo, grid, stats);
+    ++used;
+  }
+  return used;
+}
+
+}  // namespace cstf

@@ -1,0 +1,42 @@
+// BLCO MTTKRP — the simulated-GPU kernel (Nguyen et al. ICS'22 style).
+//
+// One thread block per BLCO block; threads stride over the block's nonzeros,
+// unpack the delta-compressed coordinates, form the Khatri-Rao row on the
+// fly, and scatter into the output with atomics. The launch is metered: the
+// streamed bytes are the *compressed* tensor, and the factor-row gathers are
+// charged as random traffic against a working set of the live factor
+// matrices — the two quantities whose interplay produces the
+// MTTKRP-vs-ADMM speedup trade-off of Figures 7–8.
+#pragma once
+
+#include <vector>
+
+#include "formats/blco.hpp"
+#include "la/matrix.hpp"
+#include "simgpu/device.hpp"
+
+namespace cstf {
+
+/// MTTKRP for `mode` on the simulated device. `out` must be dims()[mode] x R.
+void mttkrp_blco(simgpu::Device& dev, const BlcoTensor& blco,
+                 const std::vector<Matrix>& factors, int mode, Matrix& out);
+
+/// The KernelStats `mttkrp_blco` records for one call (exposed so benches
+/// can rescale the traffic to full-size datasets before modeling time).
+simgpu::KernelStats blco_mttkrp_stats(const BlcoTensor& blco,
+                                      const std::vector<Matrix>& factors,
+                                      int mode);
+
+/// Out-of-memory streamed MTTKRP (the BLCO substrate paper's headline mode):
+/// when the tensor exceeds `device_budget_bytes` of device memory (after the
+/// resident factors), its blocks are processed in batches staged over the
+/// host link, double-buffered so staging overlaps compute. Results are
+/// identical to `mttkrp_blco`; the metered record adds the staging traffic,
+/// and the per-batch time is modeled as max(compute, transfer).
+///
+/// Returns the number of batches used (1 == fully resident, no staging).
+index_t mttkrp_blco_streamed(simgpu::Device& dev, const BlcoTensor& blco,
+                             const std::vector<Matrix>& factors, int mode,
+                             Matrix& out, double device_budget_bytes);
+
+}  // namespace cstf

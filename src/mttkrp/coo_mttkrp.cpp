@@ -1,0 +1,66 @@
+#include "mttkrp/coo_mttkrp.hpp"
+
+#include "parallel/atomic.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace cstf {
+
+void mttkrp_ref(const SparseTensor& x, const std::vector<Matrix>& factors,
+                int mode, Matrix& out) {
+  const int modes = x.num_modes();
+  CSTF_CHECK(mode >= 0 && mode < modes);
+  CSTF_CHECK(static_cast<int>(factors.size()) == modes);
+  const index_t rank = factors[0].cols();
+  CSTF_CHECK(out.rows() == x.dim(mode) && out.cols() == rank);
+  out.set_all(0.0);
+
+  std::vector<real_t> row(static_cast<std::size_t>(rank));
+  for (index_t i = 0; i < x.nnz(); ++i) {
+    const real_t v = x.values()[static_cast<std::size_t>(i)];
+    for (index_t r = 0; r < rank; ++r) row[static_cast<std::size_t>(r)] = v;
+    for (int m = 0; m < modes; ++m) {
+      if (m == mode) continue;
+      const index_t idx = x.indices(m)[static_cast<std::size_t>(i)];
+      const Matrix& f = factors[static_cast<std::size_t>(m)];
+      for (index_t r = 0; r < rank; ++r) {
+        row[static_cast<std::size_t>(r)] *= f(idx, r);
+      }
+    }
+    const index_t out_row = x.indices(mode)[static_cast<std::size_t>(i)];
+    for (index_t r = 0; r < rank; ++r) {
+      out(out_row, r) += row[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+void mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
+                int mode, Matrix& out) {
+  const int modes = x.num_modes();
+  CSTF_CHECK(mode >= 0 && mode < modes);
+  CSTF_CHECK(static_cast<int>(factors.size()) == modes);
+  const index_t rank = factors[0].cols();
+  CSTF_CHECK(out.rows() == x.dim(mode) && out.cols() == rank);
+  out.set_all(0.0);
+
+  parallel_for_blocked(0, x.nnz(), [&](index_t lo, index_t hi) {
+    std::vector<real_t> row(static_cast<std::size_t>(rank));
+    for (index_t i = lo; i < hi; ++i) {
+      const real_t v = x.values()[static_cast<std::size_t>(i)];
+      for (index_t r = 0; r < rank; ++r) row[static_cast<std::size_t>(r)] = v;
+      for (int m = 0; m < modes; ++m) {
+        if (m == mode) continue;
+        const index_t idx = x.indices(m)[static_cast<std::size_t>(i)];
+        const Matrix& f = factors[static_cast<std::size_t>(m)];
+        for (index_t r = 0; r < rank; ++r) {
+          row[static_cast<std::size_t>(r)] *= f(idx, r);
+        }
+      }
+      const index_t out_row = x.indices(mode)[static_cast<std::size_t>(i)];
+      for (index_t r = 0; r < rank; ++r) {
+        atomic_add(&out(out_row, r), row[static_cast<std::size_t>(r)]);
+      }
+    }
+  });
+}
+
+}  // namespace cstf

@@ -1,0 +1,25 @@
+// COO-format MTTKRP kernels.
+//
+// `mttkrp_ref` is the deliberately simple sequential kernel every other
+// implementation is differentially tested against; `mttkrp_coo` is the
+// parallel (atomic-scatter) variant. Both compute, for the chosen mode n,
+//   out = X_(n) * (H_N ⊙ ... ⊙ H_{n+1} ⊙ H_{n-1} ⊙ ... ⊙ H_1),
+// materializing the Khatri-Rao rows on the fly per nonzero (Figure 2).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+
+namespace cstf {
+
+/// Sequential reference MTTKRP. `out` must be dim(mode) x R.
+void mttkrp_ref(const SparseTensor& x, const std::vector<Matrix>& factors,
+                int mode, Matrix& out);
+
+/// Parallel COO MTTKRP using atomic scatter into the output rows.
+void mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
+                int mode, Matrix& out);
+
+}  // namespace cstf

@@ -1,0 +1,28 @@
+// Atomic floating-point accumulation, the CPU analog of CUDA's atomicAdd.
+//
+// COO-format MTTKRP scatters contributions from concurrently processed
+// nonzeros into shared output rows; this helper provides the lock-free
+// accumulate those kernels need.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace cstf {
+
+/// Atomically performs `*target += value` via compare-exchange. Relaxed
+/// ordering: accumulation order is already nondeterministic, and all kernels
+/// join the pool (a full barrier) before reading results.
+inline void atomic_add(real_t* target, real_t value) {
+  auto* atomic_target = reinterpret_cast<std::atomic<real_t>*>(target);
+  real_t expected = atomic_target->load(std::memory_order_relaxed);
+  while (!atomic_target->compare_exchange_weak(expected, expected + value,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+static_assert(sizeof(std::atomic<real_t>) == sizeof(real_t),
+              "atomic_add requires lock-free std::atomic<real_t> layout");
+
+}  // namespace cstf

@@ -1,0 +1,59 @@
+// Blocked parallel loops over index ranges, built on ThreadPool.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cstf {
+
+/// Serial threshold: ranges smaller than this run inline — forking the pool
+/// costs more than the loop body for tiny ranges.
+inline constexpr index_t kParallelGrainDefault = 1024;
+
+/// Executes `body(i)` for every i in [begin, end), statically blocked across
+/// the global pool. `body` must be safe to run concurrently for distinct i.
+template <typename Body>
+void parallel_for(index_t begin, index_t end, const Body& body,
+                  index_t grain = kParallelGrainDefault) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  ThreadPool& pool = global_pool();
+  const auto workers = static_cast<index_t>(pool.num_threads());
+  if (n <= grain || workers == 1 || ThreadPool::in_parallel_region()) {
+    for (index_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const index_t chunk = (n + workers - 1) / workers;
+  pool.run([&](std::size_t w) {
+    const index_t lo = begin + static_cast<index_t>(w) * chunk;
+    const index_t hi = std::min<index_t>(lo + chunk, end);
+    for (index_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+/// Blocked variant: `body(lo, hi)` receives each worker's contiguous
+/// subrange. Prefer this when the body can vectorize over the subrange or
+/// needs per-block scratch.
+template <typename Body>
+void parallel_for_blocked(index_t begin, index_t end, const Body& body,
+                          index_t grain = kParallelGrainDefault) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  ThreadPool& pool = global_pool();
+  const auto workers = static_cast<index_t>(pool.num_threads());
+  if (n <= grain || workers == 1 || ThreadPool::in_parallel_region()) {
+    body(begin, end);
+    return;
+  }
+  const index_t chunk = (n + workers - 1) / workers;
+  pool.run([&](std::size_t w) {
+    const index_t lo = begin + static_cast<index_t>(w) * chunk;
+    const index_t hi = std::min<index_t>(lo + chunk, end);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+}  // namespace cstf

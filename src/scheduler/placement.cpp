@@ -1,0 +1,90 @@
+#include "scheduler/placement.hpp"
+
+#include <array>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cstf::scheduler {
+
+const char* target_name(Target target) {
+  return target == Target::kCpu ? "CPU" : "GPU";
+}
+
+bool PlacementPlan::hybrid() const {
+  if (steps.empty()) return false;
+  for (const auto& step : steps) {
+    if (step.target != steps.front().target) return true;
+  }
+  return false;
+}
+
+bool PlacementPlan::all_on(Target target) const {
+  for (const auto& step : steps) {
+    if (step.target != target) return false;
+  }
+  return true;
+}
+
+PlacementPlan choose_placement(const std::vector<PhaseCost>& phases,
+                               const simgpu::DeviceSpec& gpu,
+                               double initial_bytes, double final_bytes) {
+  PlacementPlan plan;
+  const std::size_t n = phases.size();
+  if (n == 0) return plan;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto link = [&](double bytes) { return simgpu::transfer_time(gpu, bytes); };
+  auto phase_cost = [&](std::size_t i, int d) {
+    return d == 0 ? phases[i].cpu_seconds : phases[i].gpu_seconds;
+  };
+
+  // best[i][d]: minimal time through phase i ending on device d (0=CPU,
+  // 1=GPU); from[i][d] backtracks the predecessor device.
+  std::vector<std::array<double, 2>> best(n, {kInf, kInf});
+  std::vector<std::array<int, 2>> from(n, {0, 0});
+
+  best[0][0] = phase_cost(0, 0);
+  best[0][1] = link(initial_bytes) + phase_cost(0, 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (int d = 0; d < 2; ++d) {
+      for (int prev = 0; prev < 2; ++prev) {
+        const double hop = prev == d ? 0.0 : link(phases[i - 1].boundary_bytes);
+        const double candidate = best[i - 1][prev] + hop + phase_cost(i, d);
+        if (candidate < best[i][d]) {
+          best[i][d] = candidate;
+          from[i][d] = prev;
+        }
+      }
+    }
+  }
+
+  // Final download when ending on the GPU.
+  const double end_cpu = best[n - 1][0];
+  const double end_gpu = best[n - 1][1] + link(final_bytes);
+  int device = end_cpu <= end_gpu ? 0 : 1;
+  plan.total_seconds = device == 0 ? end_cpu : end_gpu;
+
+  // Backtrack the per-phase assignment.
+  std::vector<int> assignment(n);
+  for (std::size_t i = n; i-- > 0;) {
+    assignment[i] = device;
+    device = from[i][device];
+  }
+
+  plan.steps.reserve(n);
+  double compute = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    PlacementStep step;
+    step.name = phases[i].name;
+    step.target = assignment[i] == 0 ? Target::kCpu : Target::kGpu;
+    step.seconds = phase_cost(i, assignment[i]);
+    compute += step.seconds;
+    plan.steps.push_back(std::move(step));
+  }
+  plan.transfer_seconds = plan.total_seconds - compute;
+  CSTF_CHECK(plan.transfer_seconds >= -1e-12);
+  return plan;
+}
+
+}  // namespace cstf::scheduler

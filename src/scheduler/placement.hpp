@@ -1,0 +1,60 @@
+// CPU/GPU placement decision model — the paper's stated future work
+// ("decision models to dynamically determine whether to execute computations
+// on the CPU, on the GPU, or on both"), implemented over the same cost model
+// that drives the benches.
+//
+// The cSTF outer iteration is a chain of phases (per mode: GRAM, MTTKRP,
+// UPDATE, NORMALIZE). Each phase has a modeled cost on each device, and
+// running consecutive phases on different devices forces the phase's live
+// data across the host link. choose_placement solves the resulting
+// shortest-path problem exactly (two-state dynamic program).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simgpu/device_spec.hpp"
+
+namespace cstf::scheduler {
+
+enum class Target { kCpu, kGpu };
+
+const char* target_name(Target target);
+
+/// One phase of the chain with its per-device cost and the bytes that must
+/// cross the host link if the *next* phase runs on the other device.
+struct PhaseCost {
+  std::string name;
+  double cpu_seconds = 0.0;
+  double gpu_seconds = 0.0;
+  double boundary_bytes = 0.0;
+};
+
+struct PlacementStep {
+  std::string name;
+  Target target = Target::kGpu;
+  double seconds = 0.0;
+};
+
+struct PlacementPlan {
+  std::vector<PlacementStep> steps;
+  double total_seconds = 0.0;     // compute + transfers
+  double transfer_seconds = 0.0;  // link share of the total
+
+  /// True when the plan mixes devices (heterogeneous execution).
+  bool hybrid() const;
+
+  /// True when every step runs on `target`.
+  bool all_on(Target target) const;
+};
+
+/// Chooses the optimal device per phase. `gpu` supplies the host-link cost;
+/// the chain is assumed to start and end with the factors resident on the
+/// host (an initial upload / final download is charged when the first/last
+/// phases run on the GPU).
+PlacementPlan choose_placement(const std::vector<PhaseCost>& phases,
+                               const simgpu::DeviceSpec& gpu,
+                               double initial_bytes = 0.0,
+                               double final_bytes = 0.0);
+
+}  // namespace cstf::scheduler

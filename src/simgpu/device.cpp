@@ -1,0 +1,2 @@
+// device.hpp is header-only; this TU anchors the target.
+#include "simgpu/device.hpp"

@@ -1,0 +1,67 @@
+// Simulated device: a machine spec plus accumulated kernel accounting.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "simgpu/cost_model.hpp"
+#include "simgpu/counters.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace cstf::simgpu {
+
+/// One simulated execution target. Kernels run functionally on the host;
+/// every launch records its KernelStats here, and modeled_time() converts the
+/// accumulated record into execution time on this device's spec.
+///
+/// A Device is also the unit of comparison: benches run the same algorithm
+/// once, recording into an A100 Device, an H100 Device, and a Xeon Device,
+/// and report the modeled-time ratios (plus host wall time, which is real).
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Records one launch (or a batch) under `kernel_name`.
+  void record(const std::string& kernel_name, const KernelStats& stats) {
+    per_kernel_[kernel_name] += stats;
+    total_ += stats;
+  }
+
+  /// Accumulated statistics since the last reset.
+  const KernelStats& total() const { return total_; }
+  const std::map<std::string, KernelStats>& per_kernel() const {
+    return per_kernel_;
+  }
+
+  /// Modeled execution time of everything recorded since the last reset.
+  /// Per-kernel modeling (not one aggregate) so each kernel's own working
+  /// set and parallelism shape its time.
+  double modeled_time_s() const {
+    double t = 0.0;
+    for (const auto& [name, stats] : per_kernel_) {
+      t += model_time(stats, spec_).total_s;
+    }
+    return t;
+  }
+
+  /// Modeled time of a single named kernel's accumulated record.
+  double modeled_kernel_time_s(const std::string& kernel_name) const {
+    auto it = per_kernel_.find(kernel_name);
+    if (it == per_kernel_.end()) return 0.0;
+    return model_time(it->second, spec_).total_s;
+  }
+
+  void reset() {
+    per_kernel_.clear();
+    total_ = KernelStats{};
+  }
+
+ private:
+  DeviceSpec spec_;
+  KernelStats total_;
+  std::map<std::string, KernelStats> per_kernel_;
+};
+
+}  // namespace cstf::simgpu

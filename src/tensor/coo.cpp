@@ -1,0 +1,171 @@
+#include "tensor/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "parallel/reduce.hpp"
+
+namespace cstf {
+
+SparseTensor::SparseTensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
+  CSTF_CHECK(!dims_.empty() && static_cast<int>(dims_.size()) <= kMaxModes);
+  for (index_t d : dims_) CSTF_CHECK(d >= 1);
+  indices_.resize(dims_.size());
+}
+
+void SparseTensor::reserve(index_t n) {
+  for (auto& idx : indices_) idx.reserve(static_cast<std::size_t>(n));
+  values_.reserve(static_cast<std::size_t>(n));
+}
+
+void SparseTensor::append(const index_t* coords, real_t value) {
+  for (int m = 0; m < num_modes(); ++m) {
+    CSTF_CHECK_MSG(coords[m] >= 0 && coords[m] < dim(m),
+                   "mode " << m << " index " << coords[m] << " out of [0,"
+                           << dim(m) << ")");
+    indices_[static_cast<std::size_t>(m)].push_back(coords[m]);
+  }
+  values_.push_back(value);
+}
+
+void SparseTensor::sort_by_mode(int lead_mode) {
+  CSTF_CHECK(lead_mode >= 0 && lead_mode < num_modes());
+  std::vector<int> order;
+  order.push_back(lead_mode);
+  for (int m = 0; m < num_modes(); ++m) {
+    if (m != lead_mode) order.push_back(m);
+  }
+  sort_by_order(order);
+}
+
+void SparseTensor::sort_by_order(const std::vector<int>& mode_order) {
+  CSTF_CHECK(static_cast<int>(mode_order.size()) == num_modes());
+  const index_t n = nnz();
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+    for (int m : mode_order) {
+      const auto& idx = indices_[static_cast<std::size_t>(m)];
+      if (idx[static_cast<std::size_t>(a)] != idx[static_cast<std::size_t>(b)]) {
+        return idx[static_cast<std::size_t>(a)] < idx[static_cast<std::size_t>(b)];
+      }
+    }
+    return false;
+  });
+  apply_permutation(perm);
+}
+
+void SparseTensor::apply_permutation(const std::vector<index_t>& perm) {
+  const auto n = perm.size();
+  std::vector<index_t> scratch_idx(n);
+  for (auto& idx : indices_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch_idx[i] = idx[static_cast<std::size_t>(perm[i])];
+    }
+    idx = scratch_idx;
+  }
+  std::vector<real_t> scratch_val(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch_val[i] = values_[static_cast<std::size_t>(perm[i])];
+  }
+  values_ = std::move(scratch_val);
+}
+
+index_t SparseTensor::dedup_keep_first() {
+  const index_t before = nnz();
+  dedup_impl(/*sum_values=*/false);
+  return before - nnz();
+}
+
+index_t SparseTensor::dedup_sum() {
+  const index_t before = nnz();
+  dedup_impl(/*sum_values=*/true);
+  return before - nnz();
+}
+
+void SparseTensor::dedup_impl(bool sum_values) {
+  const index_t n = nnz();
+  if (n == 0) return;
+  const int modes = num_modes();
+  auto same_coords = [&](index_t a, index_t b) {
+    for (int m = 0; m < modes; ++m) {
+      const auto& idx = indices_[static_cast<std::size_t>(m)];
+      if (idx[static_cast<std::size_t>(a)] != idx[static_cast<std::size_t>(b)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  index_t out = 0;
+  for (index_t i = 1; i < n; ++i) {
+    if (same_coords(out, i)) {
+      if (sum_values) {
+        values_[static_cast<std::size_t>(out)] +=
+            values_[static_cast<std::size_t>(i)];
+      }
+    } else {
+      ++out;
+      if (out != i) {
+        for (int m = 0; m < modes; ++m) {
+          auto& idx = indices_[static_cast<std::size_t>(m)];
+          idx[static_cast<std::size_t>(out)] = idx[static_cast<std::size_t>(i)];
+        }
+        values_[static_cast<std::size_t>(out)] = values_[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  const index_t kept = out + 1;
+  for (auto& idx : indices_) idx.resize(static_cast<std::size_t>(kept));
+  values_.resize(static_cast<std::size_t>(kept));
+}
+
+void SparseTensor::validate() const {
+  const auto n = values_.size();
+  CSTF_CHECK(indices_.size() == dims_.size());
+  for (int m = 0; m < num_modes(); ++m) {
+    const auto& idx = indices_[static_cast<std::size_t>(m)];
+    CSTF_CHECK_MSG(idx.size() == n, "mode " << m << " index count mismatch");
+    for (index_t v : idx) {
+      CSTF_CHECK_MSG(v >= 0 && v < dim(m),
+                     "mode " << m << " index " << v << " out of range");
+    }
+  }
+}
+
+real_t SparseTensor::frobenius_norm_sq() const {
+  const real_t* v = values_.data();
+  return parallel_sum(0, nnz(), [v](index_t i) { return v[i] * v[i]; });
+}
+
+double SparseTensor::density() const {
+  double cells = 1.0;
+  for (index_t d : dims_) cells *= static_cast<double>(d);
+  return cells > 0.0 ? static_cast<double>(nnz()) / cells : 0.0;
+}
+
+SparseTensor SparseTensor::permute_modes(const std::vector<int>& perm) const {
+  CSTF_CHECK(static_cast<int>(perm.size()) == num_modes());
+  std::vector<index_t> new_dims(perm.size());
+  for (std::size_t m = 0; m < perm.size(); ++m) {
+    new_dims[m] = dim(perm[m]);
+  }
+  SparseTensor out(new_dims);
+  out.values_ = values_;
+  for (std::size_t m = 0; m < perm.size(); ++m) {
+    out.indices_[m] = indices_[static_cast<std::size_t>(perm[m])];
+  }
+  return out;
+}
+
+std::string SparseTensor::shape_string() const {
+  std::ostringstream os;
+  for (int m = 0; m < num_modes(); ++m) {
+    if (m) os << " x ";
+    os << dim(m);
+  }
+  os << " (nnz=" << nnz() << ")";
+  return os.str();
+}
+
+}  // namespace cstf

@@ -1,0 +1,93 @@
+// Coordinate-format sparse tensor — the canonical in-memory representation.
+//
+// Storage is structure-of-arrays: one index vector per mode plus a value
+// vector. Every other format (CSF, ALTO, BLCO) is constructed from a sorted
+// COO tensor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cstf {
+
+/// Sparse tensor in coordinate format with 0-based indices.
+class SparseTensor {
+ public:
+  SparseTensor() = default;
+
+  /// Creates an empty tensor with the given mode dimensions.
+  explicit SparseTensor(std::vector<index_t> dims);
+
+  int num_modes() const { return static_cast<int>(dims_.size()); }
+  index_t dim(int mode) const { return dims_[static_cast<std::size_t>(mode)]; }
+  const std::vector<index_t>& dims() const { return dims_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+
+  /// Index array of one mode (length nnz()).
+  const std::vector<index_t>& indices(int mode) const {
+    return indices_[static_cast<std::size_t>(mode)];
+  }
+  std::vector<index_t>& mutable_indices(int mode) {
+    return indices_[static_cast<std::size_t>(mode)];
+  }
+
+  const std::vector<real_t>& values() const { return values_; }
+  std::vector<real_t>& mutable_values() { return values_; }
+
+  void reserve(index_t nnz);
+
+  /// Appends one nonzero; `coords` must have num_modes() entries in range.
+  void append(const index_t* coords, real_t value);
+  void append(const std::vector<index_t>& coords, real_t value) {
+    CSTF_CHECK(static_cast<int>(coords.size()) == num_modes());
+    append(coords.data(), value);
+  }
+
+  /// Sorts nonzeros lexicographically with `lead_mode` as the most
+  /// significant key, followed by the remaining modes in ascending order —
+  /// the ordering CSF construction for that mode needs.
+  void sort_by_mode(int lead_mode);
+
+  /// Sorts lexicographically by an explicit mode priority order.
+  void sort_by_order(const std::vector<int>& mode_order);
+
+  /// Merges duplicate coordinates by summing their values. Requires the
+  /// tensor to be sorted (any lexicographic order). Returns the number of
+  /// duplicates removed.
+  index_t dedup_sum();
+
+  /// Removes duplicate coordinates keeping the first value — for generators
+  /// sampling from a deterministic model, where re-sampling a coordinate
+  /// yields the same value and summing would double it. Requires sorted
+  /// input. Returns the number of duplicates removed.
+  index_t dedup_keep_first();
+
+  /// Throws if any index is out of range or array lengths disagree.
+  void validate() const;
+
+  /// Sum of squared values (||X||_F^2) — used in fit computation.
+  real_t frobenius_norm_sq() const;
+
+  /// Fraction of occupied cells: nnz / prod(dims). Computed in doubles; the
+  /// product overflows index_t for FROSTT-scale dimensions.
+  double density() const;
+
+  /// Returns a copy with modes permuted: new mode m = old mode perm[m].
+  SparseTensor permute_modes(const std::vector<int>& perm) const;
+
+  /// Human-readable "I0 x I1 x ... (nnz=...)" summary.
+  std::string shape_string() const;
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<std::vector<index_t>> indices_;
+  std::vector<real_t> values_;
+
+  void apply_permutation(const std::vector<index_t>& perm);
+  void dedup_impl(bool sum_values);
+};
+
+}  // namespace cstf

@@ -1,0 +1,70 @@
+// Registry of the paper's 10 FROSTT datasets (Table 2) and scaled synthetic
+// analogs of each.
+//
+// The real tensors (3.1M–1.7B nonzeros) are not redistributable inside this
+// repository, so each dataset has a deterministic generator that preserves
+// what the paper's analysis says drives the results: the *ratios* between
+// mode lengths and the nonzero count (update cost ~ sum_n I_n*R vs MTTKRP
+// cost ~ nnz*R), the mode count, and FROSTT-like index skew. Benches scale
+// metered kernel statistics back up by `nnz_scale()` / `dim_scale()` before
+// feeding the cost model, so modeled times correspond to the full-size
+// tensors. A user with the real `.tns` files can instead load them through
+// tensor/io.hpp and pass CSTF_DATA_DIR to the benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "tensor/generate.hpp"
+
+namespace cstf {
+
+/// One row of the paper's Table 2.
+struct DatasetSpec {
+  std::string name;
+  std::vector<index_t> full_dims;
+  double full_nnz;
+  /// Index-skew exponent used by the analog generator.
+  double zipf_alpha;
+  /// Seed for the analog generator (fixed per dataset).
+  std::uint64_t seed;
+
+  /// Density of the full tensor: nnz / prod(dims).
+  double density() const;
+};
+
+/// All 10 datasets, in the paper's order (ascending nonzero count):
+/// NIPS, Uber, Chicago, Vast, Enron, NELL2, Flickr, Delicious, NELL1, Amazon.
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// Looks up a spec by (case-sensitive) name; throws if unknown.
+const DatasetSpec& dataset_by_name(const std::string& name);
+
+/// A generated analog plus the scale factors that map metered statistics
+/// back to full size.
+struct DatasetAnalog {
+  DatasetSpec spec;
+  SparseTensor tensor;
+
+  /// full_nnz / analog nnz — scales nnz-proportional statistics (MTTKRP).
+  double nnz_scale() const;
+
+  /// full dim / analog dim for one mode — scales I_n-proportional statistics
+  /// (the ADMM/MU/HALS updates of that mode's factor).
+  double dim_scale(int mode) const;
+};
+
+/// Generates the analog of `spec` with roughly `target_nnz` nonzeros
+/// (duplicate merging makes the exact count slightly smaller). Deterministic
+/// for a fixed (spec, target_nnz).
+DatasetAnalog make_analog(const DatasetSpec& spec, index_t target_nnz);
+
+/// Convenience: analog by dataset name, with the default bench size
+/// (CSTF_ANALOG_NNZ env var, default 60000).
+DatasetAnalog make_analog(const std::string& name);
+
+/// Default analog size used by benches (reads CSTF_ANALOG_NNZ once per call).
+index_t default_analog_nnz();
+
+}  // namespace cstf

@@ -1,0 +1,124 @@
+#include "tensor/dense.hpp"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace cstf {
+
+namespace {
+constexpr index_t kMaxDenseElements = index_t{1} << 28;  // 2 GiB of doubles
+}
+
+DenseTensor::DenseTensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
+  CSTF_CHECK(!dims_.empty() && static_cast<int>(dims_.size()) <= kMaxModes);
+  index_t total = 1;
+  strides_.resize(dims_.size());
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    CSTF_CHECK(dims_[m] >= 1);
+    strides_[m] = total;
+    total *= dims_[m];
+    CSTF_CHECK_MSG(total <= kMaxDenseElements,
+                   "dense tensor too large: " << total << " elements");
+  }
+  values_.assign(static_cast<std::size_t>(total), real_t{0});
+}
+
+index_t DenseTensor::offset(const index_t* coords) const {
+  index_t off = 0;
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    off += coords[m] * strides_[m];
+  }
+  return off;
+}
+
+DenseTensor DenseTensor::from_sparse(const SparseTensor& sparse) {
+  DenseTensor dense(sparse.dims());
+  index_t coords[kMaxModes];
+  for (index_t i = 0; i < sparse.nnz(); ++i) {
+    for (int m = 0; m < sparse.num_modes(); ++m) {
+      coords[m] = sparse.indices(m)[static_cast<std::size_t>(i)];
+    }
+    dense.values_[static_cast<std::size_t>(dense.offset(coords))] +=
+        sparse.values()[static_cast<std::size_t>(i)];
+  }
+  return dense;
+}
+
+DenseTensor DenseTensor::from_factors(const std::vector<Matrix>& factors,
+                                      const std::vector<index_t>& dims) {
+  CSTF_CHECK(factors.size() == dims.size());
+  const index_t rank = factors[0].cols();
+  for (std::size_t m = 0; m < factors.size(); ++m) {
+    CSTF_CHECK(factors[m].rows() == dims[m] && factors[m].cols() == rank);
+  }
+  DenseTensor dense(dims);
+  const index_t total = dense.num_elements();
+  const int modes = static_cast<int>(dims.size());
+  parallel_for_blocked(0, total, [&](index_t lo, index_t hi) {
+    index_t coords[kMaxModes];
+    for (index_t lin = lo; lin < hi; ++lin) {
+      index_t rem = lin;
+      for (int m = 0; m < modes; ++m) {
+        coords[m] = rem % dims[static_cast<std::size_t>(m)];
+        rem /= dims[static_cast<std::size_t>(m)];
+      }
+      real_t acc = 0.0;
+      for (index_t r = 0; r < rank; ++r) {
+        real_t prod = 1.0;
+        for (int m = 0; m < modes; ++m) {
+          prod *= factors[static_cast<std::size_t>(m)](coords[m], r);
+        }
+        acc += prod;
+      }
+      dense.values_[static_cast<std::size_t>(lin)] = acc;
+    }
+  });
+  return dense;
+}
+
+real_t DenseTensor::frobenius_norm_sq() const {
+  const real_t* v = values_.data();
+  return parallel_sum(0, num_elements(), [v](index_t i) { return v[i] * v[i]; });
+}
+
+void dense_mttkrp(const DenseTensor& x, const std::vector<Matrix>& factors,
+                  int mode, Matrix& out) {
+  const int modes = x.num_modes();
+  CSTF_CHECK(mode >= 0 && mode < modes);
+  CSTF_CHECK(static_cast<int>(factors.size()) == modes);
+  const index_t rank = factors[0].cols();
+  CSTF_CHECK(out.rows() == x.dim(mode) && out.cols() == rank);
+  out.set_all(0.0);
+
+  const index_t total = x.num_elements();
+  const auto& dims = x.dims();
+  // Parallel over output rows: each worker scans the whole tensor but only
+  // accumulates elements whose mode-index falls in its row range, keeping
+  // the accumulation race-free without atomics.
+  parallel_for_blocked(0, x.dim(mode), [&](index_t row_lo, index_t row_hi) {
+    index_t coords[kMaxModes];
+    for (index_t lin = 0; lin < total; ++lin) {
+      index_t rem = lin;
+      for (int m = 0; m < modes; ++m) {
+        coords[m] = rem % dims[static_cast<std::size_t>(m)];
+        rem /= dims[static_cast<std::size_t>(m)];
+      }
+      const index_t row = coords[mode];
+      if (row < row_lo || row >= row_hi) continue;
+      const real_t v = x.data()[lin];
+      if (v == 0.0) continue;
+      for (index_t r = 0; r < rank; ++r) {
+        real_t prod = v;
+        for (int m = 0; m < modes; ++m) {
+          if (m == mode) continue;
+          prod *= factors[static_cast<std::size_t>(m)](coords[m], r);
+        }
+        out(row, r) += prod;
+      }
+    }
+  }, /*grain=*/1);
+}
+
+}  // namespace cstf

@@ -1,0 +1,62 @@
+// Dense tensor — the substrate for the PLANC-style dense-TF baseline that
+// Figure 1's DenseTF column profiles.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+
+namespace cstf {
+
+/// Dense N-mode tensor, stored with mode-0 fastest (generalized
+/// column-major, matching the factor-matrix layout).
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+  explicit DenseTensor(std::vector<index_t> dims);
+
+  int num_modes() const { return static_cast<int>(dims_.size()); }
+  index_t dim(int mode) const { return dims_[static_cast<std::size_t>(mode)]; }
+  const std::vector<index_t>& dims() const { return dims_; }
+  index_t num_elements() const { return static_cast<index_t>(values_.size()); }
+
+  real_t* data() { return values_.data(); }
+  const real_t* data() const { return values_.data(); }
+
+  /// Linear offset of a coordinate (mode-0 fastest).
+  index_t offset(const index_t* coords) const;
+
+  real_t at(const std::vector<index_t>& coords) const {
+    return values_[static_cast<std::size_t>(offset(coords.data()))];
+  }
+  real_t& at(const std::vector<index_t>& coords) {
+    return values_[static_cast<std::size_t>(offset(coords.data()))];
+  }
+
+  /// Materializes a sparse tensor densely (zero elsewhere). Guards against
+  /// absurd sizes — only for tests and small baselines.
+  static DenseTensor from_sparse(const SparseTensor& sparse);
+
+  /// Reconstructs a dense tensor from rank-R factors: X = sum_r outer
+  /// product of factor columns (unweighted CPD). Factor n must be
+  /// dim(n) x R.
+  static DenseTensor from_factors(const std::vector<Matrix>& factors,
+                                  const std::vector<index_t>& dims);
+
+  real_t frobenius_norm_sq() const;
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<index_t> strides_;
+  std::vector<real_t> values_;
+};
+
+/// Dense MTTKRP for mode `mode`: out = X_(mode) * (khatri-rao of the other
+/// factors), computed by direct enumeration of all tensor elements. This is
+/// the workload whose cost is proportional to prod(dims) — the reason MTTKRP
+/// dominates DenseTF in Figure 1.
+void dense_mttkrp(const DenseTensor& x, const std::vector<Matrix>& factors,
+                  int mode, Matrix& out);
+
+}  // namespace cstf

@@ -1,0 +1,65 @@
+// Synthetic sparse tensor generators.
+//
+// Two kinds of tensors are generated:
+//  * `generate_random` — skewed random coordinates with no planted structure;
+//    used by the performance benches, where only the sparsity pattern's
+//    statistics matter.
+//  * `generate_low_rank` — sampled from a planted non-negative CPD model plus
+//    noise; used by convergence tests, where the factorization must be able
+//    to recover a known fit.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+
+namespace cstf {
+
+/// How coordinates are drawn along one mode.
+struct ModeDistribution {
+  /// Zipf exponent; 0 means uniform. FROSTT-like skew is ~0.6–1.2.
+  double zipf_alpha = 0.8;
+};
+
+/// Parameters for `generate_random`.
+struct RandomTensorParams {
+  std::vector<index_t> dims;
+  index_t target_nnz = 0;
+  /// Per-mode index skew; resized with default if shorter than dims.
+  std::vector<ModeDistribution> mode_dist;
+  /// Values are uniform in [value_lo, value_hi).
+  real_t value_lo = 0.0;
+  real_t value_hi = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Draws `target_nnz` coordinates (duplicates merged by summation, so the
+/// result can have slightly fewer nonzeros), sorted by mode 0.
+SparseTensor generate_random(const RandomTensorParams& params);
+
+/// Parameters for `generate_low_rank`.
+struct LowRankTensorParams {
+  std::vector<index_t> dims;
+  index_t rank = 8;
+  index_t target_nnz = 0;
+  /// Relative Gaussian noise added to each sampled value.
+  real_t noise = 0.01;
+  std::uint64_t seed = 1;
+};
+
+/// Ground truth + sample: non-negative factors are drawn, then `target_nnz`
+/// coordinates are sampled (uniformly) and set to the model value plus noise.
+/// When `target_nnz >= prod(dims)` every cell is enumerated instead, giving a
+/// fully observed tensor — the construction convergence tests need, since CP
+/// of a *partially* sampled tensor treats unobserved cells as zeros and the
+/// planted model is then not recoverable.
+/// Returns the tensor and the planted factors (each dims[m] x rank).
+struct LowRankTensor {
+  SparseTensor tensor;
+  std::vector<Matrix> factors;
+};
+LowRankTensor generate_low_rank(const LowRankTensorParams& params);
+
+}  // namespace cstf

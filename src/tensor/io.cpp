@@ -1,0 +1,182 @@
+#include "tensor/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace cstf {
+
+namespace {
+
+struct ParsedLine {
+  index_t coords[kMaxModes];
+  real_t value;
+  int modes;
+};
+
+// Parses one data line; returns false for blank/comment lines.
+bool parse_line(const std::string& line, int expected_modes, ParsedLine& out) {
+  std::size_t pos = 0;
+  while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  if (pos == line.size() || line[pos] == '#') return false;
+
+  std::istringstream ss(line);
+  double fields[kMaxModes + 1];
+  int count = 0;
+  double v;
+  while (count < kMaxModes + 1 && (ss >> v)) fields[count++] = v;
+  CSTF_CHECK_MSG(count >= 2, "tns line needs >= 1 index + value: '" << line << "'");
+  if (expected_modes > 0) {
+    CSTF_CHECK_MSG(count == expected_modes + 1,
+                   "tns line has " << count - 1 << " indices, expected "
+                                   << expected_modes);
+  }
+  out.modes = count - 1;
+  for (int m = 0; m < out.modes; ++m) {
+    const auto idx = static_cast<index_t>(fields[m]);
+    CSTF_CHECK_MSG(idx >= 1, "tns indices are 1-based; got " << idx);
+    out.coords[m] = idx - 1;  // to 0-based
+  }
+  out.value = static_cast<real_t>(fields[count - 1]);
+  return true;
+}
+
+}  // namespace
+
+SparseTensor read_tns(std::istream& in, const std::vector<index_t>& dims_hint) {
+  std::vector<index_t> coords_per_mode[kMaxModes];
+  std::vector<real_t> values;
+  std::vector<index_t> max_index;
+  int modes = dims_hint.empty() ? 0 : static_cast<int>(dims_hint.size());
+
+  std::string line;
+  ParsedLine parsed;
+  while (std::getline(in, line)) {
+    if (!parse_line(line, modes, parsed)) continue;
+    if (modes == 0) {
+      modes = parsed.modes;
+      max_index.assign(static_cast<std::size_t>(modes), 0);
+    }
+    if (max_index.empty()) max_index.assign(static_cast<std::size_t>(modes), 0);
+    for (int m = 0; m < modes; ++m) {
+      coords_per_mode[m].push_back(parsed.coords[m]);
+      if (parsed.coords[m] > max_index[static_cast<std::size_t>(m)]) {
+        max_index[static_cast<std::size_t>(m)] = parsed.coords[m];
+      }
+    }
+    values.push_back(parsed.value);
+  }
+  CSTF_CHECK_MSG(modes > 0, "tns stream contained no data lines");
+
+  std::vector<index_t> dims = dims_hint;
+  if (dims.empty()) {
+    dims.resize(static_cast<std::size_t>(modes));
+    for (int m = 0; m < modes; ++m) {
+      dims[static_cast<std::size_t>(m)] = max_index[static_cast<std::size_t>(m)] + 1;
+    }
+  }
+
+  SparseTensor tensor(dims);
+  tensor.reserve(static_cast<index_t>(values.size()));
+  index_t coords[kMaxModes];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (int m = 0; m < modes; ++m) coords[m] = coords_per_mode[m][i];
+    tensor.append(coords, values[i]);
+  }
+  return tensor;
+}
+
+SparseTensor read_tns_file(const std::string& path,
+                           const std::vector<index_t>& dims_hint) {
+  std::ifstream in(path);
+  CSTF_CHECK_MSG(in.good(), "cannot open tns file: " << path);
+  return read_tns(in, dims_hint);
+}
+
+void write_tns(const SparseTensor& tensor, std::ostream& out) {
+  out << std::setprecision(std::numeric_limits<real_t>::max_digits10);
+  const index_t n = tensor.nnz();
+  for (index_t i = 0; i < n; ++i) {
+    for (int m = 0; m < tensor.num_modes(); ++m) {
+      out << tensor.indices(m)[static_cast<std::size_t>(i)] + 1 << ' ';
+    }
+    out << tensor.values()[static_cast<std::size_t>(i)] << '\n';
+  }
+}
+
+void write_tns_file(const SparseTensor& tensor, const std::string& path) {
+  std::ofstream out(path);
+  CSTF_CHECK_MSG(out.good(), "cannot open tns file for write: " << path);
+  write_tns(tensor, out);
+}
+
+namespace {
+constexpr char kBinaryMagic[6] = {'C', 'S', 'T', 'F', '1', '\n'};
+
+template <typename T>
+void write_raw(std::ostream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+void read_raw(std::istream& in, T* data, std::size_t count,
+              const char* what) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  CSTF_CHECK_MSG(in.good(), "binary tensor file truncated reading " << what);
+}
+}  // namespace
+
+void write_binary_file(const SparseTensor& tensor, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  CSTF_CHECK_MSG(out.good(), "cannot open binary file for write: " << path);
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  const auto modes = static_cast<std::uint64_t>(tensor.num_modes());
+  const auto nnz = static_cast<std::uint64_t>(tensor.nnz());
+  write_raw(out, &modes, 1);
+  write_raw(out, tensor.dims().data(), tensor.dims().size());
+  write_raw(out, &nnz, 1);
+  for (int m = 0; m < tensor.num_modes(); ++m) {
+    write_raw(out, tensor.indices(m).data(), tensor.indices(m).size());
+  }
+  write_raw(out, tensor.values().data(), tensor.values().size());
+  CSTF_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+SparseTensor read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CSTF_CHECK_MSG(in.good(), "cannot open binary tensor file: " << path);
+  char magic[sizeof(kBinaryMagic)];
+  read_raw(in, magic, sizeof(kBinaryMagic), "magic");
+  CSTF_CHECK_MSG(std::memcmp(magic, kBinaryMagic, sizeof(kBinaryMagic)) == 0,
+                 "not a CSTF1 binary tensor: " << path);
+  std::uint64_t modes = 0;
+  read_raw(in, &modes, 1, "mode count");
+  CSTF_CHECK_MSG(modes >= 1 && modes <= static_cast<std::uint64_t>(kMaxModes),
+                 "corrupt mode count " << modes);
+  std::vector<index_t> dims(static_cast<std::size_t>(modes));
+  read_raw(in, dims.data(), dims.size(), "dims");
+  std::uint64_t nnz = 0;
+  read_raw(in, &nnz, 1, "nnz");
+
+  SparseTensor tensor(dims);
+  for (std::uint64_t m = 0; m < modes; ++m) {
+    auto& idx = tensor.mutable_indices(static_cast<int>(m));
+    idx.resize(static_cast<std::size_t>(nnz));
+    read_raw(in, idx.data(), idx.size(), "indices");
+  }
+  auto& values = tensor.mutable_values();
+  values.resize(static_cast<std::size_t>(nnz));
+  read_raw(in, values.data(), values.size(), "values");
+  tensor.validate();
+  return tensor;
+}
+
+}  // namespace cstf

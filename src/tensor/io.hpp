@@ -1,0 +1,41 @@
+// FROSTT `.tns` text format reader/writer.
+//
+// The format is one nonzero per line: N whitespace-separated 1-based indices
+// followed by the value; lines starting with '#' are comments. This is the
+// format the paper's datasets (Table 2) are distributed in at frostt.io, so a
+// user with the real data can run every bench on it unmodified.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo.hpp"
+
+namespace cstf {
+
+/// Reads a `.tns` stream. Mode count is inferred from the first data line;
+/// dimensions are the per-mode maxima unless `dims_hint` is non-empty (then
+/// indices are validated against the hint).
+SparseTensor read_tns(std::istream& in,
+                      const std::vector<index_t>& dims_hint = {});
+
+/// Reads a `.tns` file by path.
+SparseTensor read_tns_file(const std::string& path,
+                           const std::vector<index_t>& dims_hint = {});
+
+/// Writes `.tns` (1-based indices, full value precision).
+void write_tns(const SparseTensor& tensor, std::ostream& out);
+
+/// Writes a `.tns` file by path.
+void write_tns_file(const SparseTensor& tensor, const std::string& path);
+
+/// Binary tensor format (".cstf"): magic "CSTF1", mode count, dimensions,
+/// nonzero count, then raw index/value arrays. Loads the large FROSTT
+/// tensors an order of magnitude faster than text parsing; intended as a
+/// local cache next to the original `.tns`.
+void write_binary_file(const SparseTensor& tensor, const std::string& path);
+
+/// Reads the binary format; throws on bad magic, version, or truncation.
+SparseTensor read_binary_file(const std::string& path);
+
+}  // namespace cstf

@@ -1,0 +1,122 @@
+#include "updates/admm_kernels.hpp"
+
+#include "common/error.hpp"
+#include "parallel/atomic.hpp"
+#include "simgpu/launch.hpp"
+
+namespace cstf {
+
+namespace {
+
+constexpr index_t kBlockDim = 256;
+
+simgpu::LaunchConfig config_for(index_t n) {
+  return simgpu::LaunchConfig{.grid_dim = simgpu::blocks_for(n, kBlockDim, 2048),
+                              .block_dim = kBlockDim,
+                              .shmem_reals = 4};
+}
+
+simgpu::KernelStats elementwise_stats(index_t n, double reads, double writes,
+                                      double flops_per_elem) {
+  simgpu::KernelStats stats;
+  const auto dn = static_cast<double>(n);
+  stats.flops = dn * flops_per_elem;
+  stats.bytes_streamed = dn * (reads + writes) * simgpu::kWord;
+  stats.parallel_items = dn;
+  return stats;
+}
+
+}  // namespace
+
+void kernel_compute_auxiliary(simgpu::Device& dev, const Matrix& m,
+                              const Matrix& h, const Matrix& u, real_t rho,
+                              Matrix& t) {
+  CSTF_CHECK(m.same_shape(h) && m.same_shape(u) && m.same_shape(t));
+  const index_t n = m.size();
+  const real_t* pm = m.data();
+  const real_t* ph = h.data();
+  const real_t* pu = u.data();
+  real_t* pt = t.data();
+  simgpu::launch(dev, "admm_compute_auxiliary", config_for(n),
+                 elementwise_stats(n, 3, 1, 3),
+                 [&](const simgpu::KernelCtx& ctx) {
+    for (index_t i = ctx.global_thread_id(); i < n; i += ctx.total_threads()) {
+      pt[i] = pm[i] + rho * (ph[i] + pu[i]);
+    }
+  });
+}
+
+void kernel_apply_proximity(simgpu::Device& dev, const Proximity& prox,
+                            real_t rho, const Matrix& t, const Matrix& u,
+                            Matrix& h, real_t* delta_h_sq) {
+  CSTF_CHECK(prox.elementwise());
+  CSTF_CHECK(t.same_shape(u) && t.same_shape(h));
+  const index_t n = t.size();
+  const real_t* pt = t.data();
+  const real_t* pu = u.data();
+  real_t* ph = h.data();
+  const real_t inv_rho = rho > 0.0 ? 1.0 / rho : 1.0;
+  *delta_h_sq = 0.0;
+  real_t* out_sq = delta_h_sq;
+  simgpu::launch(dev, "admm_apply_proximity", config_for(n),
+                 elementwise_stats(n, 3, 1, 4),
+                 [&](const simgpu::KernelCtx& ctx) {
+    if (ctx.thread_idx == 0) ctx.shared[0] = 0.0;
+    real_t local = 0.0;
+    for (index_t i = ctx.global_thread_id(); i < n; i += ctx.total_threads()) {
+      const real_t old_h = ph[i];
+      const real_t new_h = prox.apply_scalar(pt[i] - pu[i], inv_rho);
+      ph[i] = new_h;
+      const real_t d = new_h - old_h;
+      local += d * d;
+    }
+    ctx.shared[0] += local;
+    if (ctx.thread_idx == ctx.block_dim - 1) {
+      atomic_add(out_sq, ctx.shared[0]);
+    }
+  });
+}
+
+void kernel_dual_update(simgpu::Device& dev, const Matrix& h, const Matrix& t,
+                        Matrix& u, real_t* primal_sq, real_t* h_sq,
+                        real_t* u_sq) {
+  CSTF_CHECK(h.same_shape(t) && h.same_shape(u));
+  const index_t n = h.size();
+  const real_t* ph = h.data();
+  const real_t* pt = t.data();
+  real_t* pu = u.data();
+  *primal_sq = 0.0;
+  *h_sq = 0.0;
+  *u_sq = 0.0;
+  real_t* out_primal = primal_sq;
+  real_t* out_h = h_sq;
+  real_t* out_u = u_sq;
+  simgpu::launch(dev, "admm_dual_update", config_for(n),
+                 elementwise_stats(n, 3, 1, 8),
+                 [&](const simgpu::KernelCtx& ctx) {
+    if (ctx.thread_idx == 0) {
+      ctx.shared[0] = 0.0;
+      ctx.shared[1] = 0.0;
+      ctx.shared[2] = 0.0;
+    }
+    real_t lp = 0.0, lh = 0.0, lu = 0.0;
+    for (index_t i = ctx.global_thread_id(); i < n; i += ctx.total_threads()) {
+      const real_t diff = ph[i] - pt[i];
+      const real_t nu = pu[i] + diff;
+      pu[i] = nu;
+      lp += diff * diff;
+      lh += ph[i] * ph[i];
+      lu += nu * nu;
+    }
+    ctx.shared[0] += lp;
+    ctx.shared[1] += lh;
+    ctx.shared[2] += lu;
+    if (ctx.thread_idx == ctx.block_dim - 1) {
+      atomic_add(out_primal, ctx.shared[0]);
+      atomic_add(out_h, ctx.shared[1]);
+      atomic_add(out_u, ctx.shared[2]);
+    }
+  });
+}
+
+}  // namespace cstf

@@ -1,0 +1,21 @@
+#include "updates/als.hpp"
+
+#include "common/error.hpp"
+#include "la/cholesky.hpp"
+#include "simgpu/dblas.hpp"
+
+namespace cstf {
+
+void AlsUpdate::update(simgpu::Device& dev, const Matrix& s, const Matrix& m,
+                       Matrix& h, ModeState& /*state*/) const {
+  CSTF_CHECK(m.same_shape(h));
+  Matrix s_ridged = s;
+  la::add_diagonal(s_ridged, options_.ridge);
+  Matrix l;
+  simgpu::dpotrf(dev, s_ridged, l);
+  // H <- M, then solve H * S = M in place.
+  simgpu::dgeam(dev, 1.0, m, 0.0, m, h);
+  simgpu::dpotrs_right(dev, l, h);
+}
+
+}  // namespace cstf

@@ -1,0 +1,29 @@
+// Unconstrained ALS update — plain CP-ALS least squares, included as the
+// no-constraint reference point (what STF without the "c" does).
+//
+//   H <- M * (S)^{-1}   via Cholesky.
+#pragma once
+
+#include "updates/update_method.hpp"
+
+namespace cstf {
+
+struct AlsOptions {
+  /// Tikhonov ridge added to S's diagonal for rank-deficient safety.
+  real_t ridge = 1e-12;
+};
+
+class AlsUpdate final : public UpdateMethod {
+ public:
+  explicit AlsUpdate(AlsOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ALS"; }
+
+  void update(simgpu::Device& dev, const Matrix& s, const Matrix& m, Matrix& h,
+              ModeState& state) const override;
+
+ private:
+  AlsOptions options_;
+};
+
+}  // namespace cstf

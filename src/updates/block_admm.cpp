@@ -1,0 +1,128 @@
+#include "updates/block_admm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/cholesky.hpp"
+#include "parallel/parallel_for.hpp"
+#include "simgpu/dblas.hpp"
+
+namespace cstf {
+
+namespace {
+
+// Runs the complete ADMM inner loop on rows [lo, hi). All buffers are
+// row-block slices held in dense scratch (block-major), so every inner
+// iteration after the first touches only cache-resident data.
+void admm_block(const BlockAdmmOptions& opt, const Matrix& l, const Matrix& m,
+                Matrix& h, Matrix& u, real_t rho, index_t lo, index_t hi,
+                std::vector<real_t>& scratch) {
+  const index_t rank = h.cols();
+  const index_t rows = hi - lo;
+  const real_t inv_rho = 1.0 / rho;
+  // Scratch layout: t (rows x rank), z (rank) per row reused.
+  scratch.assign(static_cast<std::size_t>(rows * rank + rank), 0.0);
+  real_t* t = scratch.data();
+  real_t* z = scratch.data() + rows * rank;
+
+  for (int iter = 0; iter < opt.inner_iterations; ++iter) {
+    real_t primal_sq = 0.0, h_sq = 0.0, delta_sq = 0.0, u_sq = 0.0;
+    for (index_t i = 0; i < rows; ++i) {
+      real_t* ti = t + i * rank;
+      const index_t row = lo + i;
+      // t_i = M(row,:) + rho * (H(row,:) + U(row,:)).
+      for (index_t r = 0; r < rank; ++r) {
+        ti[r] = m(row, r) + rho * (h(row, r) + u(row, r));
+      }
+      // Right-solve t_i (L L^T) = t_i: forward then backward substitution.
+      for (index_t j = 0; j < rank; ++j) {
+        real_t acc = ti[j];
+        for (index_t k = 0; k < j; ++k) acc -= z[k] * l(j, k);
+        z[j] = acc / l(j, j);
+      }
+      for (index_t j = rank - 1; j >= 0; --j) {
+        real_t acc = z[j];
+        for (index_t k = j + 1; k < rank; ++k) acc -= ti[k] * l(k, j);
+        ti[j] = acc / l(j, j);
+      }
+      // Prox, dual update, residuals — all in-register for this row.
+      for (index_t r = 0; r < rank; ++r) {
+        const real_t old_h = h(row, r);
+        const real_t new_h = opt.prox.apply_scalar(ti[r] - u(row, r), inv_rho);
+        h(row, r) = new_h;
+        const real_t diff = new_h - ti[r];
+        const real_t nu = u(row, r) + diff;
+        u(row, r) = nu;
+        primal_sq += diff * diff;
+        h_sq += new_h * new_h;
+        u_sq += nu * nu;
+        const real_t dh = new_h - old_h;
+        delta_sq += dh * dh;
+      }
+    }
+    if (opt.tolerance > 0.0 && h_sq > 0.0 && u_sq > 0.0 &&
+        primal_sq / h_sq < opt.tolerance && delta_sq / u_sq < opt.tolerance) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void BlockAdmmUpdate::update(simgpu::Device& dev, const Matrix& s,
+                             const Matrix& m, Matrix& h,
+                             ModeState& state) const {
+  const index_t rank = s.rows();
+  CSTF_CHECK(s.cols() == rank);
+  CSTF_CHECK(m.same_shape(h) && m.cols() == rank);
+
+  real_t rho = 0.0;
+  for (index_t r = 0; r < rank; ++r) rho += s(r, r);
+  rho /= static_cast<real_t>(rank);
+  if (rho <= 0.0) rho = 1.0;
+
+  Matrix s_loaded = s;
+  la::add_diagonal(s_loaded, rho);
+  Matrix l;
+  simgpu::dpotrf(dev, s_loaded, l);
+
+  if (!state.dual.same_shape(h)) state.dual.resize(h.rows(), h.cols());
+  Matrix& u = state.dual;
+
+  const index_t rows = h.rows();
+  const index_t block = std::max<index_t>(1, options_.block_rows);
+  const index_t num_blocks = (rows + block - 1) / block;
+
+  // Metering: the first inner iteration streams H/U/M once; the remaining
+  // iterations re-touch a block-sized working set.
+  {
+    simgpu::KernelStats stats;
+    const double n = static_cast<double>(h.size());
+    const double iters = static_cast<double>(options_.inner_iterations);
+    const double r = static_cast<double>(rank);
+    stats.flops = n * iters * (19.0 + 2.0 * r);  // Eq. 3 per row element
+    stats.bytes_streamed = 4.0 * n * simgpu::kWord;  // first touch of M,H,U,t
+    stats.bytes_reused = 4.0 * n * (iters - 1.0) * simgpu::kWord;
+    stats.working_set_bytes =
+        4.0 * static_cast<double>(block * rank) * simgpu::kWord;
+    stats.serial_depth = 2.0 * r * r * iters;
+    stats.parallel_items = static_cast<double>(rows);
+    stats.launches = 1;  // one parallel region over blocks
+    // Scalar substitution chains, branchy prox, and residual reductions: far
+    // from the machine's FMA-vector peak (the flip side of the blocked
+    // variant's excellent cache behaviour).
+    stats.compute_efficiency = 0.08;
+    dev.record("block_admm", stats);
+  }
+
+  parallel_for(0, num_blocks, [&](index_t b) {
+    std::vector<real_t> scratch;
+    const index_t lo = b * block;
+    const index_t hi = std::min<index_t>(lo + block, rows);
+    admm_block(options_, l, m, h, u, rho, lo, hi, scratch);
+  }, /*grain=*/1);
+}
+
+}  // namespace cstf

@@ -1,0 +1,48 @@
+// Blocked AO-ADMM — the CPU-optimized variant of Smith, Beri & Karypis
+// (ICPP'17), which the SPLATT library implements and the paper benchmarks
+// against (Section 5.3).
+//
+// Factor rows are partitioned into cache-sized blocks; each block runs its
+// own complete ADMM inner loop (with its own convergence test) before the
+// next block is touched. Because the row system is separable given S, this
+// is exact, and it converts the update's memory traffic from I-sized streams
+// into block-sized working sets that stay resident in CPU caches. The paper
+// notes this blockwise structure is precisely what does NOT map well to GPUs
+// (Section 4.2) — which is why it lives here as the CPU baseline rather than
+// inside cuADMM.
+#pragma once
+
+#include "updates/prox.hpp"
+#include "updates/update_method.hpp"
+
+namespace cstf {
+
+struct BlockAdmmOptions {
+  Proximity prox = Proximity::non_negative();
+
+  /// Rows per block. 1024 rows x 32 cols x 4 live matrices x 8 B = 1 MiB,
+  /// comfortably inside a per-core L2 slice.
+  index_t block_rows = 1024;
+
+  /// Inner iterations per block (the paper's fixed budget).
+  int inner_iterations = 10;
+
+  /// Per-block early exit on residual ratios; 0 disables (fixed-cost runs).
+  real_t tolerance = 0.0;
+};
+
+class BlockAdmmUpdate final : public UpdateMethod {
+ public:
+  explicit BlockAdmmUpdate(BlockAdmmOptions options) : options_(options) {}
+
+  std::string name() const override { return "BlockADMM(" + options_.prox.name() + ")"; }
+  const BlockAdmmOptions& options() const { return options_; }
+
+  void update(simgpu::Device& dev, const Matrix& s, const Matrix& m, Matrix& h,
+              ModeState& state) const override;
+
+ private:
+  BlockAdmmOptions options_;
+};
+
+}  // namespace cstf

@@ -1,0 +1,37 @@
+// HALS — Hierarchical Alternating Least Squares (Cichocki & Phan) for
+// non-negative factorization; the second additional update scheme of
+// Section 5.4.
+//
+// Columns are updated in sequence, each by a closed-form non-negative
+// rank-one correction:
+//   H(:,r) <- max(eps, H(:,r) + (M(:,r) - H*S(:,r)) / S(r,r))
+// Column r's update sees the already-updated columns < r (Gauss-Seidel), so
+// the R column kernels launch sequentially while each parallelizes over the
+// I rows.
+#pragma once
+
+#include "updates/update_method.hpp"
+
+namespace cstf {
+
+struct HalsOptions {
+  int inner_iterations = 1;
+  /// Lower bound applied to updated entries; a strictly positive floor is
+  /// the standard HALS guard against zero-locked columns.
+  real_t epsilon = 1e-16;
+};
+
+class HalsUpdate final : public UpdateMethod {
+ public:
+  explicit HalsUpdate(HalsOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "HALS"; }
+
+  void update(simgpu::Device& dev, const Matrix& s, const Matrix& m, Matrix& h,
+              ModeState& state) const override;
+
+ private:
+  HalsOptions options_;
+};
+
+}  // namespace cstf

@@ -1,0 +1,36 @@
+// Multiplicative update (Lee & Seung) for non-negative factorization —
+// one of the two additional update schemes the framework integrates to
+// demonstrate flexibility (Section 5.4, Figures 9-10).
+//
+//   H <- H .* M ./ (H*S + eps)
+//
+// Non-negativity is preserved multiplicatively: H stays >= 0 if it starts
+// >= 0, no projection needed.
+#pragma once
+
+#include "updates/update_method.hpp"
+
+namespace cstf {
+
+struct MuOptions {
+  /// Inner sweeps per outer iteration (kept at 1 by convention; MU makes
+  /// slow per-sweep progress but each sweep is one GEMM + one fused kernel).
+  int inner_iterations = 1;
+  /// Denominator guard.
+  real_t epsilon = 1e-16;
+};
+
+class MuUpdate final : public UpdateMethod {
+ public:
+  explicit MuUpdate(MuOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "MU"; }
+
+  void update(simgpu::Device& dev, const Matrix& s, const Matrix& m, Matrix& h,
+              ModeState& state) const override;
+
+ private:
+  MuOptions options_;
+};
+
+}  // namespace cstf

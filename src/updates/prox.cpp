@@ -1,0 +1,191 @@
+#include "updates/prox.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/blas.hpp"
+#include "la/elementwise.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace cstf {
+
+std::string Proximity::name() const {
+  switch (kind_) {
+    case ProxKind::kIdentity: return "identity";
+    case ProxKind::kNonNegative: return "nonneg";
+    case ProxKind::kL1: return "l1";
+    case ProxKind::kL1NonNegative: return "l1+nonneg";
+    case ProxKind::kBox: return "box";
+    case ProxKind::kL2Ball: return "l2ball";
+    case ProxKind::kSimplex: return "simplex";
+    case ProxKind::kSmooth: return "smooth";
+  }
+  return "?";
+}
+
+real_t Proximity::apply_scalar(real_t x, real_t rho_scale) const {
+  switch (kind_) {
+    case ProxKind::kIdentity:
+      return x;
+    case ProxKind::kNonNegative:
+      return x > 0.0 ? x : 0.0;
+    case ProxKind::kL1: {
+      const real_t t = a_ * rho_scale;
+      if (x > t) return x - t;
+      if (x < -t) return x + t;
+      return 0.0;
+    }
+    case ProxKind::kL1NonNegative: {
+      const real_t t = a_ * rho_scale;
+      return x > t ? x - t : 0.0;
+    }
+    case ProxKind::kBox:
+      return std::clamp(x, a_, b_);
+    case ProxKind::kL2Ball:
+    case ProxKind::kSimplex:
+    case ProxKind::kSmooth:
+      break;  // not elementwise
+  }
+  CSTF_CHECK_MSG(false, "apply_scalar on non-elementwise prox");
+  return x;
+}
+
+namespace {
+
+// Euclidean projection of a column onto the probability simplex
+// (Held/Wolfe/Crowder; the sort-based O(n log n) algorithm).
+void project_simplex(real_t* col, index_t n, std::vector<real_t>& scratch) {
+  scratch.assign(col, col + n);
+  std::sort(scratch.begin(), scratch.end(), std::greater<real_t>());
+  real_t cumulative = 0.0;
+  real_t theta = 0.0;
+  index_t support = 0;
+  for (index_t k = 0; k < n; ++k) {
+    cumulative += scratch[static_cast<std::size_t>(k)];
+    const real_t candidate =
+        (cumulative - 1.0) / static_cast<real_t>(k + 1);
+    if (scratch[static_cast<std::size_t>(k)] - candidate > 0.0) {
+      theta = candidate;
+      support = k + 1;
+    }
+  }
+  CSTF_CHECK(support > 0);
+  for (index_t i = 0; i < n; ++i) {
+    col[i] = std::max<real_t>(col[i] - theta, 0.0);
+  }
+}
+
+// Proximity of (lambda/2)*||D x||^2: solves (I + lambda * D^T D) x = v with
+// D the first-difference operator; the system is tridiagonal
+// [-(lambda), 1 + 2*lambda, -(lambda)] with 1 + lambda at the boundaries.
+// Thomas algorithm, O(n) per column.
+void smooth_column(real_t* col, index_t n, real_t lambda,
+                   std::vector<real_t>& scratch) {
+  if (n == 1 || lambda <= 0.0) return;
+  scratch.assign(static_cast<std::size_t>(2 * n), 0.0);
+  real_t* c_prime = scratch.data();      // modified super-diagonal
+  real_t* d_prime = scratch.data() + n;  // modified RHS
+  const real_t off = -lambda;
+  auto diag = [&](index_t i) {
+    return (i == 0 || i == n - 1) ? 1.0 + lambda : 1.0 + 2.0 * lambda;
+  };
+  c_prime[0] = off / diag(0);
+  d_prime[0] = col[0] / diag(0);
+  for (index_t i = 1; i < n; ++i) {
+    const real_t denom = diag(i) - off * c_prime[i - 1];
+    c_prime[i] = off / denom;
+    d_prime[i] = (col[i] - off * d_prime[i - 1]) / denom;
+  }
+  col[n - 1] = d_prime[n - 1];
+  for (index_t i = n - 2; i >= 0; --i) {
+    col[i] = d_prime[i] - c_prime[i] * col[i + 1];
+  }
+}
+
+}  // namespace
+
+void Proximity::apply(Matrix& h, real_t rho_scale) const {
+  if (kind_ == ProxKind::kL2Ball) {
+    // Per-column projection onto the ball of radius a_.
+    parallel_for(0, h.cols(), [&](index_t j) {
+      real_t* col = h.col(j);
+      const real_t norm = la::nrm2(h.rows(), col);
+      if (norm > a_ && norm > 0.0) {
+        la::scal(h.rows(), a_ / norm, col);
+      }
+    }, /*grain=*/1);
+    return;
+  }
+  if (kind_ == ProxKind::kSimplex) {
+    parallel_for(0, h.cols(), [&](index_t j) {
+      std::vector<real_t> scratch;
+      project_simplex(h.col(j), h.rows(), scratch);
+    }, /*grain=*/1);
+    return;
+  }
+  if (kind_ == ProxKind::kSmooth) {
+    // The prox of (lambda/rho)*(1/2)||D x||^2: the regularization weight is
+    // divided by the ADMM step size, like the L1 threshold.
+    const real_t effective_lambda = a_ * rho_scale;
+    parallel_for(0, h.cols(), [&](index_t j) {
+      std::vector<real_t> scratch;
+      smooth_column(h.col(j), h.rows(), effective_lambda, scratch);
+    }, /*grain=*/1);
+    return;
+  }
+  real_t* p = h.data();
+  parallel_for_blocked(0, h.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) p[i] = apply_scalar(p[i], rho_scale);
+  });
+}
+
+bool Proximity::is_feasible(const Matrix& h, real_t eps) const {
+  switch (kind_) {
+    case ProxKind::kIdentity:
+    case ProxKind::kL1:
+      return true;
+    case ProxKind::kNonNegative:
+    case ProxKind::kL1NonNegative: {
+      const real_t* p = h.data();
+      for (index_t i = 0; i < h.size(); ++i) {
+        if (p[i] < -eps) return false;
+      }
+      return true;
+    }
+    case ProxKind::kBox: {
+      const real_t* p = h.data();
+      for (index_t i = 0; i < h.size(); ++i) {
+        if (p[i] < a_ - eps || p[i] > b_ + eps) return false;
+      }
+      return true;
+    }
+    case ProxKind::kL2Ball: {
+      for (index_t j = 0; j < h.cols(); ++j) {
+        if (la::nrm2(h.rows(), h.col(j)) > a_ + eps) return false;
+      }
+      return true;
+    }
+    case ProxKind::kSimplex: {
+      for (index_t j = 0; j < h.cols(); ++j) {
+        const real_t* col = h.col(j);
+        real_t sum = 0.0;
+        for (index_t i = 0; i < h.rows(); ++i) {
+          if (col[i] < -eps) return false;
+          sum += col[i];
+        }
+        if (std::abs(sum - 1.0) > 1e-6 + eps * static_cast<real_t>(h.rows())) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ProxKind::kSmooth:
+      return true;  // regularizer, not a constraint set
+  }
+  return true;
+}
+
+}  // namespace cstf

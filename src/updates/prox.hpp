@@ -1,0 +1,91 @@
+// Proximity operators — the r(·) of Algorithm 2 line 7.
+//
+// ADMM supports any constraint with a computable proximity operator; this is
+// the flexibility the paper highlights over single-constraint methods. All
+// operators here except the L2 ball are elementwise, which is what lets
+// cuADMM fuse the projection into the (H_aux - U) subtraction kernel
+// (Section 4.3.1).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "la/matrix.hpp"
+
+namespace cstf {
+
+enum class ProxKind {
+  /// No constraint: identity (unconstrained least squares via ADMM).
+  kIdentity,
+  /// Non-negativity: projection onto R+, max(0, x). The paper's primary
+  /// constraint (non-negative CP factorization).
+  kNonNegative,
+  /// L1 sparsity: soft-thresholding shrink(x, lambda/rho), optionally
+  /// combined with non-negativity.
+  kL1,
+  kL1NonNegative,
+  /// Box constraint: clamp to [lo, hi].
+  kBox,
+  /// L2-ball of given radius per column (not elementwise; falls back to the
+  /// column-wise path in the fused kernel).
+  kL2Ball,
+  /// Probability-simplex projection per column (non-negative, sums to 1) —
+  /// for probabilistic/topic-model factors. Column-wise.
+  kSimplex,
+  /// Quadratic smoothness regularizer (lambda/2)*||D h||^2 with D the
+  /// first-difference operator — the "smoothness" constraint the paper lists
+  /// among ADMM's supported regularizers (Section 3.2). Its proximity
+  /// operator solves a tridiagonal system per column (Thomas algorithm).
+  kSmooth,
+};
+
+/// A configured proximity operator.
+class Proximity {
+ public:
+  static Proximity identity() { return Proximity(ProxKind::kIdentity, 0, 0); }
+  static Proximity non_negative() {
+    return Proximity(ProxKind::kNonNegative, 0, 0);
+  }
+  static Proximity l1(real_t lambda) { return Proximity(ProxKind::kL1, lambda, 0); }
+  static Proximity l1_non_negative(real_t lambda) {
+    return Proximity(ProxKind::kL1NonNegative, lambda, 0);
+  }
+  static Proximity box(real_t lo, real_t hi) {
+    return Proximity(ProxKind::kBox, lo, hi);
+  }
+  static Proximity l2_ball(real_t radius) {
+    return Proximity(ProxKind::kL2Ball, radius, 0);
+  }
+  static Proximity simplex() { return Proximity(ProxKind::kSimplex, 1.0, 0); }
+  static Proximity smooth(real_t lambda) {
+    return Proximity(ProxKind::kSmooth, lambda, 0);
+  }
+
+  ProxKind kind() const { return kind_; }
+  bool elementwise() const {
+    return kind_ != ProxKind::kL2Ball && kind_ != ProxKind::kSimplex &&
+           kind_ != ProxKind::kSmooth;
+  }
+  std::string name() const;
+
+  /// The scalar map for elementwise kinds. `scale` divides the L1 threshold
+  /// by the ADMM step size (the prox of (lambda/rho)*||.||_1).
+  real_t apply_scalar(real_t x, real_t rho_scale) const;
+
+  /// Applies the operator to a full matrix in place (used by the unfused
+  /// baseline path and by non-ADMM callers; rho_scale as above).
+  void apply(Matrix& h, real_t rho_scale) const;
+
+  /// True if every element of `h` satisfies the constraint (within eps) —
+  /// the property tests' feasibility oracle.
+  bool is_feasible(const Matrix& h, real_t eps = 1e-12) const;
+
+ private:
+  Proximity(ProxKind kind, real_t a, real_t b) : kind_(kind), a_(a), b_(b) {}
+
+  ProxKind kind_;
+  real_t a_;  // lambda (L1), lo (box), radius (L2 ball)
+  real_t b_;  // hi (box)
+};
+
+}  // namespace cstf

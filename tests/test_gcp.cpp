@@ -1,0 +1,203 @@
+// Tests for the Poisson (KL) NTF solver and the sampled fit estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cstf/metrics.hpp"
+#include "cstf/sampled_fit.hpp"
+#include "gcp/poisson_ntf.hpp"
+#include "tensor/generate.hpp"
+
+namespace cstf {
+namespace {
+
+// Counts sampled from a planted non-negative low-rank rate tensor, fully
+// observed (zero counts dropped — they carry no KL log term, and the model
+// mass accounts for them).
+struct CountData {
+  SparseTensor counts;
+  std::vector<Matrix> rate_factors;
+};
+
+CountData make_count_data(std::vector<index_t> dims, index_t rank,
+                          std::uint64_t seed, double rate_scale = 10.0) {
+  Rng rng(seed);
+  CountData data;
+  for (index_t dim : dims) {
+    Matrix f(dim, rank);
+    f.fill_uniform(rng, 0.1, 1.0);
+    data.rate_factors.push_back(std::move(f));
+  }
+  SparseTensor counts(dims);
+  const int modes = static_cast<int>(dims.size());
+  index_t coords[kMaxModes];
+  double cells = 1.0;
+  for (index_t d : dims) cells *= static_cast<double>(d);
+  for (index_t lin = 0; lin < static_cast<index_t>(cells); ++lin) {
+    index_t rem = lin;
+    for (int m = 0; m < modes; ++m) {
+      coords[m] = rem % dims[static_cast<std::size_t>(m)];
+      rem /= dims[static_cast<std::size_t>(m)];
+    }
+    real_t rate = 0.0;
+    for (index_t r = 0; r < rank; ++r) {
+      real_t prod = rate_scale;
+      for (int m = 0; m < modes; ++m) {
+        prod *= data.rate_factors[static_cast<std::size_t>(m)](coords[m], r);
+      }
+      rate += prod;
+    }
+    const auto count = static_cast<real_t>(rng.poisson(rate));
+    if (count > 0.0) counts.append(coords, count);
+  }
+  counts.sort_by_mode(0);
+  data.counts = std::move(counts);
+  return data;
+}
+
+TEST(RngPoisson, MeanAndVarianceMatchRate) {
+  Rng rng(1);
+  for (double rate : {0.5, 4.0, 50.0}) {
+    double sum = 0.0, sum_sq = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      const double x = static_cast<double>(rng.poisson(rate));
+      sum += x;
+      sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, rate, 0.1 * rate + 0.05) << "rate " << rate;
+    EXPECT_NEAR(var, rate, 0.2 * rate + 0.1) << "rate " << rate;
+  }
+}
+
+TEST(RngPoisson, ZeroRateAlwaysZero) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(PoissonNtf, ObjectiveDecreasesMonotonically) {
+  const CountData data = make_count_data({15, 12, 10}, 3, 3);
+  PoissonNtfOptions opt;
+  opt.rank = 4;
+  opt.max_iterations = 15;
+  PoissonNtf solver(data.counts, opt);
+  const PoissonNtfResult result = solver.run();
+  ASSERT_GE(result.objective_history.size(), 2u);
+  for (std::size_t i = 1; i < result.objective_history.size(); ++i) {
+    EXPECT_LE(result.objective_history[i],
+              result.objective_history[i - 1] + 1e-6)
+        << "iteration " << i;
+  }
+}
+
+TEST(PoissonNtf, FactorsStayNonNegative) {
+  const CountData data = make_count_data({12, 10, 8}, 2, 4);
+  PoissonNtfOptions opt;
+  opt.rank = 3;
+  opt.max_iterations = 10;
+  PoissonNtf solver(data.counts, opt);
+  solver.run();
+  for (const Matrix& f : solver.factors()) {
+    for (index_t i = 0; i < f.size(); ++i) EXPECT_GE(f.data()[i], 0.0);
+  }
+}
+
+TEST(PoissonNtf, RecoversPlantedRateStructure) {
+  const CountData data = make_count_data({20, 16, 12}, 2, 5, 20.0);
+  PoissonNtfOptions opt;
+  opt.rank = 2;
+  opt.max_iterations = 120;
+  opt.tolerance = 1e-9;
+  PoissonNtf solver(data.counts, opt);
+  solver.run();
+  KTensor truth;
+  truth.factors = data.rate_factors;
+  truth.lambda.assign(2, 1.0);
+  // Congruence only (scale lives arbitrarily in the Poisson magnitudes):
+  // each recovered component matches some planted component directionally.
+  const KTensor got = solver.ktensor();
+  for (index_t r = 0; r < 2; ++r) {
+    double best = 0.0;
+    for (index_t s = 0; s < 2; ++s) {
+      best = std::max(best, component_congruence(got, r, truth, s));
+    }
+    EXPECT_GT(best, 0.9) << "component " << r;
+  }
+}
+
+TEST(PoissonNtf, RejectsNegativeCounts) {
+  SparseTensor t({3, 3});
+  t.append({0, 0}, -1.0);
+  PoissonNtfOptions opt;
+  EXPECT_THROW(PoissonNtf(t, opt), Error);
+}
+
+TEST(PoissonNtf, ConvergesWithToleranceEarlyExit) {
+  const CountData data = make_count_data({10, 8, 6}, 2, 6);
+  PoissonNtfOptions opt;
+  opt.rank = 3;
+  opt.max_iterations = 200;
+  // KL-MU has a sublinear tail; a practical stopping tolerance is coarse.
+  opt.tolerance = 1e-3;
+  PoissonNtf solver(data.counts, opt);
+  const PoissonNtfResult result = solver.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 200);
+}
+
+TEST(SampledFit, ExactWhenSampleCoversAllNonzeros) {
+  LowRankTensorParams gen;
+  gen.dims = {15, 12, 9};
+  gen.rank = 3;
+  gen.target_nnz = 15 * 12 * 9;
+  gen.noise = 0.02;
+  gen.seed = 7;
+  const LowRankTensor lr = generate_low_rank(gen);
+  KTensor model;
+  model.factors = lr.factors;
+  model.lambda.assign(3, 1.0);
+  SampledFitOptions opt;
+  opt.sample_size = lr.tensor.nnz();
+  EXPECT_NEAR(sampled_fit(model, lr.tensor, opt), model.fit_to(lr.tensor),
+              1e-12);
+}
+
+TEST(SampledFit, EstimateCloseToExactWithModestSample) {
+  LowRankTensorParams gen;
+  gen.dims = {30, 25, 20};
+  gen.rank = 4;
+  gen.target_nnz = 30 * 25 * 20;
+  gen.noise = 0.05;
+  gen.seed = 8;
+  const LowRankTensor lr = generate_low_rank(gen);
+  KTensor model;
+  model.factors = lr.factors;
+  model.lambda.assign(4, 1.0);
+  const real_t exact = model.fit_to(lr.tensor);
+  SampledFitOptions opt;
+  opt.sample_size = 5000;  // a third of the nonzeros
+  opt.seed = 12;
+  EXPECT_NEAR(sampled_fit(model, lr.tensor, opt), exact, 0.06);
+}
+
+TEST(SampledFit, DeterministicForFixedSeed) {
+  LowRankTensorParams gen;
+  gen.dims = {20, 15, 10};
+  gen.rank = 2;
+  gen.target_nnz = 20 * 15 * 10;
+  gen.seed = 10;
+  const LowRankTensor lr = generate_low_rank(gen);
+  KTensor model;
+  model.factors = lr.factors;
+  model.lambda.assign(2, 1.0);
+  SampledFitOptions opt;
+  opt.sample_size = 500;
+  opt.seed = 11;
+  EXPECT_DOUBLE_EQ(sampled_fit(model, lr.tensor, opt),
+                   sampled_fit(model, lr.tensor, opt));
+}
+
+}  // namespace
+}  // namespace cstf

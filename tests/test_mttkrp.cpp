@@ -1,0 +1,256 @@
+// Differential tests: every MTTKRP kernel must agree with the sequential
+// reference on every mode, across shapes, ranks, and formats.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "formats/alto.hpp"
+#include "formats/blco.hpp"
+#include "formats/csf.hpp"
+#include "la/matrix.hpp"
+#include "mttkrp/alto_mttkrp.hpp"
+#include "mttkrp/blco_mttkrp.hpp"
+#include "simgpu/cost_model.hpp"
+#include "mttkrp/coo_mttkrp.hpp"
+#include "mttkrp/csf_mttkrp.hpp"
+#include "tensor/datasets.hpp"
+#include "tensor/generate.hpp"
+
+namespace cstf {
+namespace {
+
+SparseTensor random_tensor(std::vector<index_t> dims, index_t nnz,
+                           std::uint64_t seed) {
+  RandomTensorParams params;
+  params.dims = std::move(dims);
+  params.target_nnz = nnz;
+  params.seed = seed;
+  return generate_random(params);
+}
+
+std::vector<Matrix> random_factors(const SparseTensor& t, index_t rank,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  for (int m = 0; m < t.num_modes(); ++m) {
+    Matrix f(t.dim(m), rank);
+    f.fill_uniform(rng, 0.1, 1.0);
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+// (num_modes, rank) sweep.
+class MttkrpSweep
+    : public ::testing::TestWithParam<std::tuple<int, index_t>> {
+ protected:
+  SparseTensor make_tensor() const {
+    const int modes = std::get<0>(GetParam());
+    std::vector<index_t> dims;
+    const index_t base[5] = {37, 23, 41, 11, 7};
+    for (int m = 0; m < modes; ++m) dims.push_back(base[m]);
+    return random_tensor(dims, 1500, 21);
+  }
+};
+
+TEST_P(MttkrpSweep, CooParallelMatchesReferenceOnEveryMode) {
+  const SparseTensor t = make_tensor();
+  const index_t rank = std::get<1>(GetParam());
+  const auto factors = random_factors(t, rank, 31);
+  for (int mode = 0; mode < t.num_modes(); ++mode) {
+    Matrix want(t.dim(mode), rank), got(t.dim(mode), rank);
+    mttkrp_ref(t, factors, mode, want);
+    mttkrp_coo(t, factors, mode, got);
+    EXPECT_LT(max_abs_diff(got, want), 1e-10) << "mode " << mode;
+  }
+}
+
+TEST_P(MttkrpSweep, CsfMatchesReferenceOnEveryRootMode) {
+  const SparseTensor t = make_tensor();
+  const index_t rank = std::get<1>(GetParam());
+  const auto factors = random_factors(t, rank, 32);
+  for (int mode = 0; mode < t.num_modes(); ++mode) {
+    Matrix want(t.dim(mode), rank), got(t.dim(mode), rank);
+    mttkrp_ref(t, factors, mode, want);
+    CsfTensor csf(t, mode);
+    mttkrp_csf(csf, factors, got);
+    EXPECT_LT(max_abs_diff(got, want), 1e-10) << "mode " << mode;
+  }
+}
+
+TEST_P(MttkrpSweep, AltoMatchesReferenceOnEveryMode) {
+  const SparseTensor t = make_tensor();
+  const index_t rank = std::get<1>(GetParam());
+  const auto factors = random_factors(t, rank, 33);
+  const AltoTensor alto(t);
+  for (int mode = 0; mode < t.num_modes(); ++mode) {
+    Matrix want(t.dim(mode), rank), got(t.dim(mode), rank);
+    mttkrp_ref(t, factors, mode, want);
+    mttkrp_alto(alto, factors, mode, got);
+    EXPECT_LT(max_abs_diff(got, want), 1e-10) << "mode " << mode;
+  }
+}
+
+TEST_P(MttkrpSweep, BlcoMatchesReferenceOnEveryMode) {
+  const SparseTensor t = make_tensor();
+  const index_t rank = std::get<1>(GetParam());
+  const auto factors = random_factors(t, rank, 34);
+  const BlcoTensor blco(t, 256);
+  simgpu::Device dev(simgpu::a100());
+  for (int mode = 0; mode < t.num_modes(); ++mode) {
+    Matrix want(t.dim(mode), rank), got(t.dim(mode), rank);
+    mttkrp_ref(t, factors, mode, want);
+    mttkrp_blco(dev, blco, factors, mode, got);
+    EXPECT_LT(max_abs_diff(got, want), 1e-10) << "mode " << mode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesByRank, MttkrpSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values<index_t>(1, 8, 16, 32)),
+    [](const auto& name_info) {
+      return "modes" + std::to_string(std::get<0>(name_info.param)) + "_rank" +
+             std::to_string(std::get<1>(name_info.param));
+    });
+
+TEST(Mttkrp, KnownValueByHand) {
+  // 2x2 matrix (2-mode tensor) X = [[1,2],[0,3]]; factor B = [[1],[2]].
+  // Mode-0 MTTKRP = X * B = [5, 6]^T.
+  SparseTensor t({2, 2});
+  t.append({0, 0}, 1.0);
+  t.append({0, 1}, 2.0);
+  t.append({1, 1}, 3.0);
+  Matrix a(2, 1), b(2, 1);
+  b(0, 0) = 1.0;
+  b(1, 0) = 2.0;
+  Matrix out(2, 1);
+  mttkrp_ref(t, {a, b}, 0, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 6.0);
+}
+
+TEST(Mttkrp, ThreeModeHandComputed) {
+  // Single nonzero x_{1,2,0} = 2 with known factor rows: out row 1 must be
+  // 2 * (B(2,:) .* C(0,:)).
+  SparseTensor t({3, 3, 2});
+  t.append({1, 2, 0}, 2.0);
+  Rng rng(1);
+  Matrix a(3, 4), b(3, 4), c(2, 4);
+  b.fill_uniform(rng);
+  c.fill_uniform(rng);
+  Matrix out(3, 4);
+  mttkrp_ref(t, {a, b, c}, 0, out);
+  for (index_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(out(1, r), 2.0 * b(2, r) * c(0, r), 1e-14);
+    EXPECT_DOUBLE_EQ(out(0, r), 0.0);
+    EXPECT_DOUBLE_EQ(out(2, r), 0.0);
+  }
+}
+
+TEST(Mttkrp, SharedOutputRowAccumulation) {
+  SparseTensor t({1, 4});
+  t.append({0, 0}, 1.0);
+  t.append({0, 1}, 2.0);
+  t.append({0, 2}, 3.0);
+  Matrix a(1, 2), b(4, 2);
+  for (index_t i = 0; i < 4; ++i) {
+    b(i, 0) = 1.0;
+    b(i, 1) = static_cast<real_t>(i);
+  }
+  Matrix out(1, 2);
+  mttkrp_coo(t, {a, b}, 0, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 6.0);   // 1+2+3
+  EXPECT_DOUBLE_EQ(out(0, 1), 8.0);   // 1*0+2*1+3*2
+}
+
+TEST(Mttkrp, BlcoMetersTrafficAndLaunches) {
+  SparseTensor t = random_tensor({64, 64, 64}, 4000, 41);
+  const auto factors = random_factors(t, 16, 42);
+  const BlcoTensor blco(t, 512);
+  simgpu::Device dev(simgpu::h100());
+  Matrix out(t.dim(0), 16);
+  mttkrp_blco(dev, blco, factors, 0, out);
+  const auto& stats = dev.per_kernel().at("mttkrp_blco");
+  EXPECT_GT(stats.flops, 0.0);
+  EXPECT_GT(stats.bytes_random, 0.0);
+  EXPECT_NEAR(stats.bytes_streamed, blco.storage_bytes(), 1.0);
+  EXPECT_EQ(stats.launches, 1);
+  EXPECT_GT(dev.modeled_time_s(), 0.0);
+}
+
+TEST(Mttkrp, StreamedMatchesResidentExactly) {
+  SparseTensor t = random_tensor({80, 70, 60}, 6000, 51);
+  const auto factors = random_factors(t, 16, 52);
+  const BlcoTensor blco(t, 256);
+  simgpu::Device dev_resident(simgpu::a100());
+  simgpu::Device dev_streamed(simgpu::a100());
+  for (int mode = 0; mode < 3; ++mode) {
+    Matrix want(t.dim(mode), 16), got(t.dim(mode), 16);
+    mttkrp_blco(dev_resident, blco, factors, mode, want);
+    // Budget forcing ~4 batches.
+    const index_t batches = mttkrp_blco_streamed(
+        dev_streamed, blco, factors, mode, got, blco.storage_bytes() / 4.0);
+    EXPECT_GE(batches, 4);
+    EXPECT_LT(max_abs_diff(got, want), 1e-12) << "mode " << mode;
+  }
+}
+
+TEST(Mttkrp, StreamedDegeneratesToResidentWhenItFits) {
+  SparseTensor t = random_tensor({40, 40, 40}, 2000, 53);
+  const auto factors = random_factors(t, 8, 54);
+  const BlcoTensor blco(t, 512);
+  simgpu::Device dev(simgpu::a100());
+  Matrix out(t.dim(0), 8);
+  const index_t batches = mttkrp_blco_streamed(dev, blco, factors, 0, out,
+                                               2.0 * blco.storage_bytes());
+  EXPECT_EQ(batches, 1);
+  EXPECT_EQ(dev.per_kernel().count("mttkrp_blco"), 1u);
+  EXPECT_EQ(dev.per_kernel().count("mttkrp_blco_streamed"), 0u);
+}
+
+TEST(Mttkrp, StreamedChargesHostLinkTraffic) {
+  SparseTensor t = random_tensor({60, 60, 60}, 5000, 55);
+  const auto factors = random_factors(t, 16, 56);
+  const BlcoTensor blco(t, 128);
+  simgpu::Device dev(simgpu::a100());
+  Matrix out(t.dim(0), 16);
+  mttkrp_blco_streamed(dev, blco, factors, 0, out, blco.storage_bytes() / 8.0);
+  const auto& stats = dev.per_kernel().at("mttkrp_blco_streamed");
+  // Every compressed byte must have been staged exactly once.
+  double expected = 0.0;
+  for (index_t b = 0; b < blco.num_blocks(); ++b) {
+    expected += static_cast<double>(blco.block(b).packed_deltas.size()) *
+                    sizeof(std::uint64_t) +
+                static_cast<double>(blco.block(b).count) * sizeof(real_t);
+  }
+  EXPECT_NEAR(stats.host_link_bytes, expected, 1.0);
+  const auto t_model = simgpu::model_time(stats, dev.spec());
+  EXPECT_GT(t_model.link_s, 0.0);
+}
+
+TEST(Mttkrp, DatasetAnalogAllFormatsAgree) {
+  // End-to-end cross-format agreement on a realistic skewed analog.
+  DatasetAnalog analog = make_analog(dataset_by_name("Uber"), 5000);
+  const SparseTensor& t = analog.tensor;
+  const auto factors = random_factors(t, 8, 77);
+  const AltoTensor alto(t);
+  const BlcoTensor blco(t, 1024);
+  simgpu::Device dev(simgpu::a100());
+  for (int mode = 0; mode < t.num_modes(); ++mode) {
+    Matrix want(t.dim(mode), 8);
+    mttkrp_ref(t, factors, mode, want);
+    Matrix got_csf(t.dim(mode), 8), got_alto(t.dim(mode), 8),
+        got_blco(t.dim(mode), 8);
+    CsfTensor csf(t, mode);
+    mttkrp_csf(csf, factors, got_csf);
+    mttkrp_alto(alto, factors, mode, got_alto);
+    mttkrp_blco(dev, blco, factors, mode, got_blco);
+    EXPECT_LT(max_abs_diff(got_csf, want), 1e-9) << "csf mode " << mode;
+    EXPECT_LT(max_abs_diff(got_alto, want), 1e-9) << "alto mode " << mode;
+    EXPECT_LT(max_abs_diff(got_blco, want), 1e-9) << "blco mode " << mode;
+  }
+}
+
+}  // namespace
+}  // namespace cstf

@@ -1,0 +1,183 @@
+// Unit tests for src/parallel: thread pool, parallel loops, reductions,
+// atomic accumulation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "parallel/atomic.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cstf {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int calls = 0;
+  pool.run([&](std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, EveryWorkerRunsExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](std::size_t w) { hits[w].fetch_add(1); });
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(hits[w].load(), 1) << "worker " << w;
+}
+
+TEST(ThreadPool, ReusableAcrossManyRuns) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int iter = 0; iter < 50; ++iter) {
+    pool.run([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run([&](std::size_t w) {
+        if (w == 2) throw Error("boom from worker 2");
+      }),
+      Error);
+  // Pool must stay usable after an exception.
+  std::atomic<int> ok{0};
+  pool.run([&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, CallerExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([&](std::size_t w) {
+                 if (w == 0) throw Error("boom from caller");
+               }),
+               Error);
+}
+
+TEST(ThreadPool, InParallelRegionFlagIsSetInsideRun) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  pool.run([&](std::size_t) { EXPECT_TRUE(ThreadPool::in_parallel_region()); });
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr index_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](index_t i) { hits[i].fetch_add(1); }, /*grain=*/16);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyAndNegativeRangesAreNoOps) {
+  int calls = 0;
+  parallel_for(5, 5, [&](index_t) { ++calls; });
+  parallel_for(9, 3, [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, OffsetRange) {
+  std::vector<int> hits(20, 0);
+  parallel_for(10, 20, [&](index_t i) { hits[i] = 1; }, /*grain=*/1);
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(hits[i], 0);
+  for (index_t i = 10; i < 20; ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ParallelForBlocked, BlocksPartitionTheRange) {
+  constexpr index_t n = 4096;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_blocked(0, n, [&](index_t lo, index_t hi) {
+    ASSERT_LT(lo, hi);
+    for (index_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  }, /*grain=*/8);
+  for (index_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, NestedCallsRunSequentiallyAndCoverRange) {
+  std::vector<std::atomic<int>> hits(64 * 64);
+  parallel_for(0, 64, [&](index_t i) {
+    parallel_for(0, 64, [&](index_t j) { hits[i * 64 + j].fetch_add(1); },
+                 /*grain=*/1);
+  }, /*grain=*/1);
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  constexpr index_t n = 1 << 18;
+  const auto mapper = [](index_t i) { return static_cast<double>(i % 97); };
+  double serial = 0.0;
+  for (index_t i = 0; i < n; ++i) serial += mapper(i);
+  const double parallel = parallel_sum(0, n, mapper, /*grain=*/64);
+  EXPECT_DOUBLE_EQ(parallel, serial);
+}
+
+TEST(ParallelReduce, CustomCombineMax) {
+  constexpr index_t n = 10000;
+  std::vector<double> data(n);
+  Rng rng(1);
+  for (auto& d : data) d = rng.uniform();
+  data[7777] = 2.0;
+  const double result = parallel_reduce<double>(
+      0, n, -1.0, [&](index_t i) { return data[i]; },
+      [](double a, double b) { return a > b ? a : b; }, /*grain=*/32);
+  EXPECT_DOUBLE_EQ(result, 2.0);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  const double result = parallel_reduce<double>(
+      3, 3, 42.0, [](index_t) { return 1.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(result, 42.0);
+}
+
+TEST(AtomicAdd, SingleThreadAccumulates) {
+  real_t x = 1.5;
+  atomic_add(&x, 2.5);
+  EXPECT_DOUBLE_EQ(x, 4.0);
+}
+
+TEST(AtomicAdd, NoLostUpdatesUnderContention) {
+  real_t target = 0.0;
+  constexpr index_t n = 200000;
+  parallel_for(0, n, [&](index_t) { atomic_add(&target, 1.0); }, /*grain=*/1);
+  EXPECT_DOUBLE_EQ(target, static_cast<real_t>(n));
+}
+
+TEST(GlobalPool, ExistsAndHasAtLeastOneThread) {
+  EXPECT_GE(global_thread_count(), 1u);
+  EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+class ParallelForThreadCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelForThreadCounts, PoolOfAnySizeCoversRange) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  std::vector<std::atomic<int>> hits(1000);
+  // Exercise the pool directly with a manual static partition.
+  const index_t n = 1000;
+  const auto workers = static_cast<index_t>(pool.num_threads());
+  const index_t chunk = (n + workers - 1) / workers;
+  pool.run([&](std::size_t w) {
+    const index_t lo = static_cast<index_t>(w) * chunk;
+    const index_t hi = std::min<index_t>(lo + chunk, n);
+    for (index_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelForThreadCounts,
+                         ::testing::Values(1, 2, 3, 8));
+
+}  // namespace
+}  // namespace cstf

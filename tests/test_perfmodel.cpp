@@ -1,0 +1,123 @@
+// Tests of the analytical ADMM model (paper Eqs. 3-5) and the stat-scaling
+// helper, including cross-validation of the closed form against the metered
+// fused-ADMM implementation.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "la/blas.hpp"
+#include "perfmodel/admm_model.hpp"
+#include "updates/admm.hpp"
+
+namespace cstf {
+namespace {
+
+using perfmodel::admm_iteration_model;
+using perfmodel::admm_iteration_time;
+using perfmodel::scale_stats;
+
+TEST(AdmmModel, ClosedFormMatchesEquations) {
+  const auto m = admm_iteration_model(1000.0, 32.0);
+  EXPECT_DOUBLE_EQ(m.flops, 19.0 * 1000 * 32 + 2.0 * 1000 * 32 * 32);
+  EXPECT_DOUBLE_EQ(m.words, 22.0 * 1000 * 32 + 32.0 * 32);
+  EXPECT_DOUBLE_EQ(m.intensity, m.flops / (m.words * 8.0));
+}
+
+class AdmmIntensityRanks : public ::testing::TestWithParam<
+                               std::pair<double, double>> {};
+
+TEST_P(AdmmIntensityRanks, MatchesPaperSection33Values) {
+  // "arithmetic intensities of 0.29, 0.47, and 0.83 for ranks 16, 32, 64"
+  const auto [rank, expected] = GetParam();
+  const auto m = admm_iteration_model(1e6, rank);  // I >> R
+  EXPECT_NEAR(m.intensity, expected, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperValues, AdmmIntensityRanks,
+                         ::testing::Values(std::pair{16.0, 0.29},
+                                           std::pair{32.0, 0.47},
+                                           std::pair{64.0, 0.83}));
+
+TEST(AdmmModel, LowIntensityImpliesBandwidthBound) {
+  // At R=32, AI ~0.47 flop/B; the A100's balance point is ~4.8 flop/B, so
+  // the roofline time must equal the memory term.
+  const auto spec = simgpu::a100();
+  const double t = admm_iteration_time(1e6, 32.0, spec);
+  const auto m = admm_iteration_model(1e6, 32.0);
+  const double t_mem =
+      m.words * 8.0 / (spec.mem_bandwidth * spec.stream_bw_fraction);
+  EXPECT_DOUBLE_EQ(t, t_mem);
+}
+
+TEST(AdmmModel, TimeScalesLinearlyInModeLength) {
+  const auto spec = simgpu::h100();
+  const double t1 = admm_iteration_time(1e5, 32.0, spec);
+  const double t10 = admm_iteration_time(1e6, 32.0, spec);
+  EXPECT_NEAR(t10 / t1, 10.0, 0.01);
+}
+
+TEST(AdmmModel, MeteredFusedAdmmTracksClosedFormTraffic) {
+  // One fused inner iteration should move memory on the same order as the
+  // paper's Q = 22*I*R words: the fused path cuts intermediate traffic, so
+  // it must land below Q but above the bare operand floor of ~12*I*R.
+  const index_t i_len = 4000, rank = 32;
+  Rng rng(1);
+  Matrix g(2 * rank, rank);
+  g.fill_normal(rng);
+  Matrix s(rank, rank);
+  la::gram(g, s);
+  Matrix m(i_len, rank), h(i_len, rank);
+  m.fill_uniform(rng);
+  h.fill_uniform(rng);
+
+  AdmmOptions opt;
+  opt.inner_iterations = 1;
+  opt.operation_fusion = true;
+  opt.preinversion = true;
+  AdmmUpdate admm(opt);
+  simgpu::Device dev(simgpu::a100());
+  ModeState state;
+  admm.update(dev, s, m, h, state);
+
+  const double ir_words = static_cast<double>(i_len * rank);
+  const double measured_words = dev.total().total_bytes() / 8.0;
+  EXPECT_GT(measured_words, 12.0 * ir_words);
+  EXPECT_LT(measured_words, 22.0 * ir_words + 10.0 * rank * rank);
+}
+
+TEST(ScaleStats, ScalesExtensiveLeavesIntensive) {
+  simgpu::KernelStats stats;
+  stats.flops = 100;
+  stats.bytes_streamed = 200;
+  stats.bytes_reused = 300;
+  stats.bytes_random = 400;
+  stats.working_set_bytes = 500;
+  stats.parallel_items = 600;
+  stats.serial_depth = 700;
+  stats.launches = 8;
+  const auto scaled = scale_stats(stats, 10.0);
+  EXPECT_DOUBLE_EQ(scaled.flops, 1000);
+  EXPECT_DOUBLE_EQ(scaled.bytes_streamed, 2000);
+  EXPECT_DOUBLE_EQ(scaled.bytes_reused, 3000);
+  EXPECT_DOUBLE_EQ(scaled.bytes_random, 4000);
+  EXPECT_DOUBLE_EQ(scaled.working_set_bytes, 5000);
+  EXPECT_DOUBLE_EQ(scaled.parallel_items, 6000);
+  EXPECT_DOUBLE_EQ(scaled.serial_depth, 700);  // intensive: unchanged
+  EXPECT_EQ(scaled.launches, 8);               // intensive: unchanged
+}
+
+TEST(ScaleStats, ScaledAnalogModelsLikeFullSize) {
+  // Scaling a metered record by k and modeling it must equal modeling a
+  // k-times-larger run directly, for bandwidth-bound kernels past
+  // saturation.
+  simgpu::KernelStats small;
+  small.bytes_streamed = 1e7;
+  small.parallel_items = 1e9;
+  const auto spec = simgpu::a100();
+  const double t_small = simgpu::model_time(small, spec).total_s;
+  const double t_scaled =
+      simgpu::model_time(scale_stats(small, 50.0), spec).total_s;
+  EXPECT_NEAR(t_scaled / t_small, 50.0, 0.5);
+}
+
+}  // namespace
+}  // namespace cstf

@@ -1,0 +1,235 @@
+// Robustness and failure-injection tests: malformed inputs, degenerate
+// tensors, extreme shapes, and numerical edge cases across the stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cstf/framework.hpp"
+#include "cstf/metrics.hpp"
+#include "formats/blco.hpp"
+#include "la/blas.hpp"
+#include "formats/csf.hpp"
+#include "mttkrp/coo_mttkrp.hpp"
+#include "tensor/generate.hpp"
+#include "tensor/io.hpp"
+
+namespace cstf {
+namespace {
+
+TEST(RobustIo, TruncatedLineRejected) {
+  std::stringstream ss;
+  ss << "1\n";  // one token: cannot be index + value
+  EXPECT_THROW(read_tns(ss), Error);
+}
+
+TEST(RobustIo, InconsistentModeCountRejected) {
+  std::stringstream ss;
+  ss << "1 1 1 2.0\n"
+     << "1 1 3.0\n";  // 2 indices after a 3-index line
+  EXPECT_THROW(read_tns(ss), Error);
+}
+
+TEST(RobustIo, DimsHintValidatesIndices) {
+  std::stringstream ss;
+  ss << "5 1 2.0\n";  // index 5 exceeds hinted dim 3
+  EXPECT_THROW(read_tns(ss, {3, 3}), Error);
+}
+
+TEST(RobustIo, MissingFileThrows) {
+  EXPECT_THROW(read_tns_file("/nonexistent/path/data.tns"), Error);
+}
+
+TEST(RobustIo, NegativeValuesRoundTrip) {
+  std::stringstream ss;
+  ss << "1 1 -3.5e-8\n2 2 1e12\n";
+  const SparseTensor t = read_tns(ss);
+  EXPECT_DOUBLE_EQ(t.values()[0], -3.5e-8);
+  EXPECT_DOUBLE_EQ(t.values()[1], 1e12);
+}
+
+TEST(RobustTensor, SingleNonzeroEverywhere) {
+  SparseTensor t({5, 4, 3});
+  t.append({2, 1, 0}, 7.0);
+  const CsfTensor csf(t, 1);
+  EXPECT_EQ(csf.nnz(), 1);
+  const BlcoTensor blco(t);
+  EXPECT_EQ(blco.num_blocks(), 1);
+
+  Matrix a(5, 2), b(4, 2), c(3, 2);
+  Rng rng(1);
+  a.fill_uniform(rng);
+  b.fill_uniform(rng);
+  c.fill_uniform(rng);
+  Matrix out(4, 2);
+  mttkrp_ref(t, {a, b, c}, 1, out);
+  for (index_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(out(1, r), 7.0 * a(2, r) * c(0, r), 1e-14);
+  }
+}
+
+TEST(RobustTensor, ZeroValuedNonzerosAreHarmless) {
+  SparseTensor t({3, 3});
+  t.append({0, 0}, 0.0);
+  t.append({1, 1}, 0.0);
+  FrameworkOptions opt;
+  opt.rank = 2;
+  opt.max_iterations = 2;
+  CstfFramework framework(t, opt);
+  const AuntfResult result = framework.run();
+  // A zero tensor is fit "perfectly" by anything; no NaNs may appear.
+  for (const auto& f : framework.ktensor().factors) {
+    for (index_t i = 0; i < f.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(f.data()[i]));
+    }
+  }
+  EXPECT_TRUE(std::isfinite(result.final_fit));
+}
+
+TEST(RobustTensor, ModeOfLengthOne) {
+  SparseTensor t({1, 6, 4});
+  index_t coords[3];
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    coords[0] = 0;
+    coords[1] = static_cast<index_t>(rng.uniform_index(6));
+    coords[2] = static_cast<index_t>(rng.uniform_index(4));
+    t.append(coords, rng.uniform(0.1, 1.0));
+  }
+  t.sort_by_mode(0);
+  t.dedup_sum();
+  FrameworkOptions opt;
+  opt.rank = 2;
+  opt.max_iterations = 3;
+  CstfFramework framework(t, opt);
+  EXPECT_NO_THROW(framework.run());
+}
+
+TEST(RobustTensor, RankLargerThanSmallestMode) {
+  // R = 8 > dim 3: the Gram stays SPD thanks to the rho*I loading.
+  SparseTensor t({3, 20, 15});
+  Rng rng(3);
+  index_t coords[3];
+  for (int i = 0; i < 100; ++i) {
+    coords[0] = static_cast<index_t>(rng.uniform_index(3));
+    coords[1] = static_cast<index_t>(rng.uniform_index(20));
+    coords[2] = static_cast<index_t>(rng.uniform_index(15));
+    t.append(coords, rng.uniform(0.1, 1.0));
+  }
+  t.sort_by_mode(0);
+  t.dedup_sum();
+  FrameworkOptions opt;
+  opt.rank = 8;
+  opt.max_iterations = 4;
+  CstfFramework framework(t, opt);
+  const AuntfResult result = framework.run();
+  EXPECT_TRUE(std::isfinite(result.final_fit));
+}
+
+TEST(RobustTensor, HugeValuesDoNotOverflow) {
+  SparseTensor t({10, 10});
+  Rng rng(4);
+  index_t coords[2];
+  for (int i = 0; i < 40; ++i) {
+    coords[0] = static_cast<index_t>(rng.uniform_index(10));
+    coords[1] = static_cast<index_t>(rng.uniform_index(10));
+    t.append(coords, rng.uniform(1e8, 1e9));
+  }
+  t.sort_by_mode(0);
+  t.dedup_sum();
+  FrameworkOptions opt;
+  opt.rank = 3;
+  opt.max_iterations = 5;
+  CstfFramework framework(t, opt);
+  const AuntfResult result = framework.run();
+  EXPECT_TRUE(std::isfinite(result.final_fit));
+  EXPECT_GT(result.final_fit, 0.0);
+}
+
+TEST(RobustTensor, SixtyFourBitCoordinateSpace) {
+  // Dimensions that together need ~60 bits of linearized coordinate.
+  SparseTensor t({1 << 20, 1 << 20, 1 << 20});
+  Rng rng(5);
+  index_t coords[3];
+  for (int i = 0; i < 500; ++i) {
+    for (int m = 0; m < 3; ++m) {
+      coords[m] = static_cast<index_t>(rng.uniform_index(1 << 20));
+    }
+    t.append(coords, 1.0);
+  }
+  t.sort_by_mode(0);
+  t.dedup_sum();
+  const BlcoTensor blco(t, 64);
+  EXPECT_EQ(blco.nnz(), t.nnz());
+  EXPECT_EQ(blco.encoding().total_bits(), 60);
+  // Reconstruct a few coordinates to prove the packing is lossless.
+  index_t decoded[kMaxModes];
+  const BlcoBlock& blk = blco.block(0);
+  blco.encoding().decode_all(blco.element_lco(blk, 0), decoded);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_GE(decoded[m], 0);
+    EXPECT_LT(decoded[m], 1 << 20);
+  }
+}
+
+TEST(RobustUpdates, AdmmWithAllZeroMttkrpOutput) {
+  // M = 0 drives H toward 0; nothing may go NaN and the constraint holds.
+  Rng rng(6);
+  Matrix g(8, 4);
+  g.fill_uniform(rng, 0.1, 1.0);
+  Matrix s(4, 4);
+  la::gram(g, s);
+  Matrix m(30, 4);  // zeros
+  Matrix h(30, 4);
+  h.fill_uniform(rng, 0.0, 1.0);
+  AdmmUpdate admm(AdmmOptions{});
+  simgpu::Device dev(simgpu::a100());
+  ModeState state;
+  admm.update(dev, s, m, h, state);
+  for (index_t i = 0; i < h.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(h.data()[i]));
+    EXPECT_GE(h.data()[i], 0.0);
+  }
+}
+
+TEST(RobustFramework, ZeroIterationOptionsRejected) {
+  SparseTensor t({4, 4});
+  t.append({0, 0}, 1.0);
+  FrameworkOptions opt;
+  opt.rank = 2;
+  opt.max_iterations = 0;
+  EXPECT_THROW(CstfFramework(t, opt), Error);
+}
+
+TEST(RobustFramework, DeviceFootprintScalesWithRank) {
+  RandomTensorParams params;
+  params.dims = {100, 80, 60};
+  params.target_nnz = 2000;
+  params.seed = 9;
+  const SparseTensor t = generate_random(params);
+  FrameworkOptions small;
+  small.rank = 8;
+  FrameworkOptions large;
+  large.rank = 32;
+  CstfFramework fs(t, small), fl(t, large);
+  EXPECT_GT(fs.device_footprint_bytes(), 0.0);
+  EXPECT_GT(fl.device_footprint_bytes(), fs.device_footprint_bytes());
+}
+
+TEST(RobustFramework, DeterministicAcrossRuns) {
+  RandomTensorParams params;
+  params.dims = {40, 30, 20};
+  params.target_nnz = 1500;
+  params.seed = 10;
+  const SparseTensor t = generate_random(params);
+  FrameworkOptions opt;
+  opt.rank = 4;
+  opt.max_iterations = 4;
+  CstfFramework a(t, opt), b(t, opt);
+  a.run();
+  b.run();
+  EXPECT_NEAR(factor_match_score(a.ktensor(), b.ktensor()), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cstf

@@ -1,0 +1,133 @@
+// Unit tests for the CPU/GPU placement decision model.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "scheduler/placement.hpp"
+
+namespace cstf {
+namespace {
+
+using scheduler::PhaseCost;
+using scheduler::PlacementPlan;
+using scheduler::Target;
+
+simgpu::DeviceSpec gpu_with_link(double bandwidth, double latency = 0.0) {
+  simgpu::DeviceSpec spec = simgpu::a100();
+  spec.host_link_bandwidth = bandwidth;
+  spec.host_link_latency = latency;
+  return spec;
+}
+
+TEST(TransferTime, ZeroForHostDevices) {
+  EXPECT_DOUBLE_EQ(simgpu::transfer_time(simgpu::xeon_8367hc(), 1e9), 0.0);
+}
+
+TEST(TransferTime, LatencyPlusBandwidth) {
+  const auto gpu = gpu_with_link(10e9, 1e-5);
+  EXPECT_DOUBLE_EQ(simgpu::transfer_time(gpu, 1e9), 1e-5 + 0.1);
+}
+
+TEST(Placement, EmptyChainYieldsEmptyPlan) {
+  const PlacementPlan plan =
+      scheduler::choose_placement({}, gpu_with_link(10e9));
+  EXPECT_TRUE(plan.steps.empty());
+  EXPECT_DOUBLE_EQ(plan.total_seconds, 0.0);
+}
+
+TEST(Placement, AllGpuWhenGpuWinsEveryPhase) {
+  std::vector<PhaseCost> phases = {
+      {"a", 1.0, 0.1, 1e6}, {"b", 2.0, 0.2, 1e6}, {"c", 1.5, 0.1, 1e6}};
+  const PlacementPlan plan =
+      scheduler::choose_placement(phases, gpu_with_link(100e9));
+  EXPECT_TRUE(plan.all_on(Target::kGpu));
+  EXPECT_FALSE(plan.hybrid());
+  EXPECT_NEAR(plan.total_seconds, 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(plan.transfer_seconds, 0.0);
+}
+
+TEST(Placement, AllCpuWhenCpuWinsEveryPhase) {
+  std::vector<PhaseCost> phases = {{"a", 0.1, 1.0, 1e6},
+                                   {"b", 0.2, 2.0, 1e6}};
+  const PlacementPlan plan =
+      scheduler::choose_placement(phases, gpu_with_link(100e9));
+  EXPECT_TRUE(plan.all_on(Target::kCpu));
+  EXPECT_NEAR(plan.total_seconds, 0.3, 1e-12);
+}
+
+TEST(Placement, SwitchesWhenSavingsExceedTransfer) {
+  // Phase b is 1s faster on the CPU; crossing back and forth costs
+  // 2 x 0.1s = 0.2s at 10 GB/s with 1 GB boundaries -> switching wins.
+  std::vector<PhaseCost> phases = {{"a", 10.0, 0.1, 1e9},
+                                   {"b", 0.1, 1.1, 1e9},
+                                   {"c", 10.0, 0.1, 1e9}};
+  const PlacementPlan plan =
+      scheduler::choose_placement(phases, gpu_with_link(10e9));
+  EXPECT_TRUE(plan.hybrid());
+  EXPECT_EQ(plan.steps[0].target, Target::kGpu);
+  EXPECT_EQ(plan.steps[1].target, Target::kCpu);
+  EXPECT_EQ(plan.steps[2].target, Target::kGpu);
+  EXPECT_NEAR(plan.transfer_seconds, 0.2, 1e-9);
+}
+
+TEST(Placement, StaysPutWhenTransferTooExpensive) {
+  // Same chain but a 100x slower link: the 1s saving costs 20s of transfer.
+  std::vector<PhaseCost> phases = {{"a", 10.0, 0.1, 1e9},
+                                   {"b", 0.1, 1.1, 1e9},
+                                   {"c", 10.0, 0.1, 1e9}};
+  const PlacementPlan plan =
+      scheduler::choose_placement(phases, gpu_with_link(0.1e9));
+  EXPECT_TRUE(plan.all_on(Target::kGpu));
+}
+
+TEST(Placement, InitialUploadChargedForGpuStart) {
+  // One phase, marginally faster on GPU, but the initial upload tips it.
+  std::vector<PhaseCost> phases = {{"a", 1.0, 0.95, 0.0}};
+  const auto gpu = gpu_with_link(1e9);
+  const PlacementPlan cheap_upload =
+      scheduler::choose_placement(phases, gpu, /*initial_bytes=*/0.0);
+  EXPECT_TRUE(cheap_upload.all_on(Target::kGpu));
+  const PlacementPlan costly_upload =
+      scheduler::choose_placement(phases, gpu, /*initial_bytes=*/1e9);
+  EXPECT_TRUE(costly_upload.all_on(Target::kCpu));
+}
+
+TEST(Placement, FinalDownloadChargedForGpuEnd) {
+  std::vector<PhaseCost> phases = {{"a", 1.0, 0.95, 0.0}};
+  const auto gpu = gpu_with_link(1e9);
+  const PlacementPlan plan = scheduler::choose_placement(
+      phases, gpu, /*initial_bytes=*/0.0, /*final_bytes=*/1e9);
+  EXPECT_TRUE(plan.all_on(Target::kCpu));
+}
+
+TEST(Placement, NeverWorseThanEitherPurePlacement) {
+  // Property over random-ish chains: the DP optimum is bounded above by
+  // both pure plans.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PhaseCost> phases;
+    double pure_cpu = 0.0, pure_gpu = 0.0;
+    const int n = 2 + static_cast<int>(rng.uniform_index(8));
+    for (int i = 0; i < n; ++i) {
+      PhaseCost p;
+      p.name = "p" + std::to_string(i);
+      p.cpu_seconds = rng.uniform(0.01, 2.0);
+      p.gpu_seconds = rng.uniform(0.01, 2.0);
+      p.boundary_bytes = rng.uniform(0.0, 2e9);
+      pure_cpu += p.cpu_seconds;
+      pure_gpu += p.gpu_seconds;
+      phases.push_back(std::move(p));
+    }
+    const PlacementPlan plan =
+        scheduler::choose_placement(phases, gpu_with_link(10e9, 1e-5));
+    EXPECT_LE(plan.total_seconds, pure_cpu + 1e-9);
+    EXPECT_LE(plan.total_seconds, pure_gpu + 1e-9);
+  }
+}
+
+TEST(Placement, TargetNames) {
+  EXPECT_STREQ(scheduler::target_name(Target::kCpu), "CPU");
+  EXPECT_STREQ(scheduler::target_name(Target::kGpu), "GPU");
+}
+
+}  // namespace
+}  // namespace cstf

@@ -1,0 +1,380 @@
+// Unit tests for src/tensor: COO container, .tns IO, dense tensor,
+// generators, dataset analogs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "tensor/coo.hpp"
+#include "tensor/datasets.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/generate.hpp"
+#include "tensor/io.hpp"
+
+namespace cstf {
+namespace {
+
+SparseTensor small_tensor() {
+  SparseTensor t({3, 4, 2});
+  t.append({0, 0, 0}, 1.0);
+  t.append({2, 3, 1}, 2.0);
+  t.append({1, 2, 0}, 3.0);
+  t.append({2, 0, 1}, 4.0);
+  return t;
+}
+
+TEST(SparseTensor, ConstructionAndAppend) {
+  SparseTensor t = small_tensor();
+  EXPECT_EQ(t.num_modes(), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t.nnz(), 4);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(SparseTensor, AppendOutOfRangeThrows) {
+  SparseTensor t({2, 2});
+  index_t bad[2] = {0, 2};
+  EXPECT_THROW(t.append(bad, 1.0), Error);
+  index_t neg[2] = {-1, 0};
+  EXPECT_THROW(t.append(neg, 1.0), Error);
+}
+
+TEST(SparseTensor, SortByModeOrdersLexicographically) {
+  SparseTensor t = small_tensor();
+  t.sort_by_mode(0);
+  const auto& i0 = t.indices(0);
+  for (std::size_t i = 1; i < i0.size(); ++i) EXPECT_LE(i0[i - 1], i0[i]);
+  // Ties on mode 0 broken by the following modes: (2,0,1) before (2,3,1).
+  EXPECT_EQ(i0[2], 2);
+  EXPECT_EQ(t.indices(1)[2], 0);
+  EXPECT_EQ(t.indices(1)[3], 3);
+}
+
+TEST(SparseTensor, SortByNonZeroLeadMode) {
+  SparseTensor t = small_tensor();
+  t.sort_by_mode(1);
+  const auto& i1 = t.indices(1);
+  for (std::size_t i = 1; i < i1.size(); ++i) EXPECT_LE(i1[i - 1], i1[i]);
+}
+
+TEST(SparseTensor, DedupSumsValues) {
+  SparseTensor t({2, 2});
+  t.append({0, 1}, 1.5);
+  t.append({0, 1}, 2.5);
+  t.append({1, 0}, 1.0);
+  t.sort_by_mode(0);
+  const index_t removed = t.dedup_sum();
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(t.nnz(), 2);
+  EXPECT_DOUBLE_EQ(t.values()[0], 4.0);
+}
+
+TEST(SparseTensor, FrobeniusNormAndDensity) {
+  SparseTensor t = small_tensor();
+  EXPECT_DOUBLE_EQ(t.frobenius_norm_sq(), 1 + 4 + 9 + 16);
+  EXPECT_DOUBLE_EQ(t.density(), 4.0 / 24.0);
+}
+
+TEST(SparseTensor, PermuteModesSwapsDimsAndIndices) {
+  SparseTensor t = small_tensor();
+  SparseTensor p = t.permute_modes({2, 0, 1});
+  EXPECT_EQ(p.dim(0), 2);
+  EXPECT_EQ(p.dim(1), 3);
+  EXPECT_EQ(p.dim(2), 4);
+  EXPECT_EQ(p.nnz(), t.nnz());
+  // First nonzero (0,0,0) stays (0,0,0); second (2,3,1) becomes (1,2,3).
+  EXPECT_EQ(p.indices(0)[1], 1);
+  EXPECT_EQ(p.indices(1)[1], 2);
+  EXPECT_EQ(p.indices(2)[1], 3);
+}
+
+TEST(SparseTensor, ShapeString) {
+  EXPECT_EQ(small_tensor().shape_string(), "3 x 4 x 2 (nnz=4)");
+}
+
+TEST(TnsIo, RoundTripPreservesEverything) {
+  SparseTensor t = small_tensor();
+  std::stringstream ss;
+  write_tns(t, ss);
+  SparseTensor back = read_tns(ss, t.dims());
+  ASSERT_EQ(back.nnz(), t.nnz());
+  for (index_t i = 0; i < t.nnz(); ++i) {
+    for (int m = 0; m < 3; ++m) {
+      EXPECT_EQ(back.indices(m)[static_cast<std::size_t>(i)],
+                t.indices(m)[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_DOUBLE_EQ(back.values()[static_cast<std::size_t>(i)],
+                     t.values()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(TnsIo, ParsesCommentsAndInfersDims) {
+  std::stringstream ss;
+  ss << "# FROSTT header comment\n"
+     << "\n"
+     << "1 1 1 5.0\n"
+     << "3 4 2 -1.25\n";
+  SparseTensor t = read_tns(ss);
+  EXPECT_EQ(t.num_modes(), 3);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t.dim(2), 2);
+  EXPECT_EQ(t.nnz(), 2);
+  EXPECT_DOUBLE_EQ(t.values()[1], -1.25);
+  // 1-based -> 0-based conversion.
+  EXPECT_EQ(t.indices(0)[1], 2);
+}
+
+TEST(TnsIo, ZeroBasedIndexRejected) {
+  std::stringstream ss;
+  ss << "0 1 2.0\n";
+  EXPECT_THROW(read_tns(ss), Error);
+}
+
+TEST(TnsIo, EmptyStreamRejected) {
+  std::stringstream ss;
+  ss << "# only comments\n";
+  EXPECT_THROW(read_tns(ss), Error);
+}
+
+TEST(BinaryIo, RoundTripPreservesEverything) {
+  RandomTensorParams params;
+  params.dims = {30, 20, 10};
+  params.target_nnz = 500;
+  params.seed = 55;
+  const SparseTensor t = generate_random(params);
+  const std::string path = ::testing::TempDir() + "/roundtrip.cstf";
+  write_binary_file(t, path);
+  const SparseTensor back = read_binary_file(path);
+  ASSERT_EQ(back.nnz(), t.nnz());
+  ASSERT_EQ(back.dims(), t.dims());
+  for (int m = 0; m < 3; ++m) EXPECT_EQ(back.indices(m), t.indices(m));
+  EXPECT_EQ(back.values(), t.values());
+}
+
+TEST(BinaryIo, RejectsWrongMagic) {
+  const std::string path = ::testing::TempDir() + "/not_cstf.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GARBAGEDATA-LONG-ENOUGH-TO-READ";
+  }
+  EXPECT_THROW(read_binary_file(path), Error);
+}
+
+TEST(BinaryIo, RejectsTruncatedFile) {
+  RandomTensorParams params;
+  params.dims = {10, 10};
+  params.target_nnz = 100;
+  params.seed = 56;
+  const SparseTensor t = generate_random(params);
+  const std::string full = ::testing::TempDir() + "/full.cstf";
+  write_binary_file(t, full);
+  // Copy only the first half of the bytes.
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const std::string cut = ::testing::TempDir() + "/cut.cstf";
+  {
+    std::ofstream out(cut, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(read_binary_file(cut), Error);
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(read_binary_file("/nonexistent/tensor.cstf"), Error);
+}
+
+TEST(DenseTensor, OffsetIsMode0Fastest) {
+  DenseTensor d({3, 4, 2});
+  index_t c0[3] = {1, 0, 0};
+  index_t c1[3] = {0, 1, 0};
+  index_t c2[3] = {0, 0, 1};
+  EXPECT_EQ(d.offset(c0), 1);
+  EXPECT_EQ(d.offset(c1), 3);
+  EXPECT_EQ(d.offset(c2), 12);
+}
+
+TEST(DenseTensor, FromSparseMaterializes) {
+  SparseTensor s = small_tensor();
+  DenseTensor d = DenseTensor::from_sparse(s);
+  EXPECT_DOUBLE_EQ(d.at({0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(d.at({2, 3, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(d.at({0, 1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(d.frobenius_norm_sq(), s.frobenius_norm_sq());
+}
+
+TEST(DenseTensor, FromFactorsMatchesManualOuterProduct) {
+  // Rank-1: X(i,j) = a_i * b_j.
+  Matrix a = Matrix::from_rows({{1}, {2}, {3}});
+  Matrix b = Matrix::from_rows({{4}, {5}});
+  DenseTensor x = DenseTensor::from_factors({a, b}, {3, 2});
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(x.at({i, j}), a(i, 0) * b(j, 0));
+    }
+  }
+}
+
+TEST(DenseMttkrp, MatchesManualComputationRank1) {
+  Matrix a = Matrix::from_rows({{1}, {2}, {3}});
+  Matrix b = Matrix::from_rows({{4}, {5}});
+  DenseTensor x = DenseTensor::from_factors({a, b}, {3, 2});
+  // Mode-0 MTTKRP of a matrix X with factor b is X * b.
+  Matrix out(3, 1);
+  dense_mttkrp(x, {a, b}, 0, out);
+  for (index_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(out(i, 0), x.at({i, 0}) * 4 + x.at({i, 1}) * 5);
+  }
+}
+
+TEST(Generate, RandomTensorHasRequestedShapeAndSortedIndices) {
+  RandomTensorParams params;
+  params.dims = {50, 40, 30};
+  params.target_nnz = 2000;
+  params.seed = 3;
+  SparseTensor t = generate_random(params);
+  EXPECT_EQ(t.num_modes(), 3);
+  // Skewed draws over a 60K-cell space collide; well over a quarter must
+  // survive the merge.
+  EXPECT_GT(t.nnz(), 500);
+  EXPECT_LE(t.nnz(), 2000);
+  EXPECT_NO_THROW(t.validate());
+  const auto& i0 = t.indices(0);
+  for (std::size_t i = 1; i < i0.size(); ++i) EXPECT_LE(i0[i - 1], i0[i]);
+}
+
+TEST(Generate, DeterministicForFixedSeed) {
+  RandomTensorParams params;
+  params.dims = {20, 20};
+  params.target_nnz = 300;
+  params.seed = 9;
+  SparseTensor a = generate_random(params);
+  SparseTensor b = generate_random(params);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (index_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_EQ(a.indices(0)[static_cast<std::size_t>(i)],
+              b.indices(0)[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(a.values()[static_cast<std::size_t>(i)],
+                     b.values()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Generate, ZipfSkewConcentratesNonzeros) {
+  RandomTensorParams skewed;
+  skewed.dims = {1000, 1000};
+  skewed.target_nnz = 20000;
+  skewed.mode_dist = {{1.2}, {1.2}};
+  skewed.seed = 4;
+  SparseTensor t = generate_random(skewed);
+  // Heavy skew concentrates the nonzeros: the 10 most-loaded mode-0 indices
+  // must hold far more than their uniform share (1%) of the nonzeros.
+  std::vector<index_t> counts(1000, 0);
+  for (index_t v : t.indices(0)) ++counts[static_cast<std::size_t>(v)];
+  std::sort(counts.rbegin(), counts.rend());
+  index_t top10 = 0;
+  for (int k = 0; k < 10; ++k) top10 += counts[static_cast<std::size_t>(k)];
+  EXPECT_GT(static_cast<double>(top10), 0.1 * static_cast<double>(t.nnz()));
+}
+
+TEST(Generate, LowRankTensorIsNonNegativeAndMatchesModel) {
+  LowRankTensorParams params;
+  params.dims = {30, 20, 10};
+  params.rank = 4;
+  params.target_nnz = 500;
+  params.noise = 0.0;
+  params.seed = 5;
+  LowRankTensor lr = generate_low_rank(params);
+  ASSERT_EQ(lr.factors.size(), 3u);
+  EXPECT_EQ(lr.factors[0].rows(), 30);
+  EXPECT_EQ(lr.factors[0].cols(), 4);
+  for (real_t v : lr.tensor.values()) EXPECT_GE(v, 0.0);
+  // With zero noise every sampled value equals the model value.
+  for (index_t i = 0; i < std::min<index_t>(lr.tensor.nnz(), 50); ++i) {
+    real_t want = 0.0;
+    for (index_t r = 0; r < 4; ++r) {
+      real_t prod = 1.0;
+      for (int m = 0; m < 3; ++m) {
+        prod *= lr.factors[static_cast<std::size_t>(m)](
+            lr.tensor.indices(m)[static_cast<std::size_t>(i)], r);
+      }
+      want += prod;
+    }
+    EXPECT_NEAR(lr.tensor.values()[static_cast<std::size_t>(i)], want, 1e-9);
+  }
+}
+
+TEST(Datasets, RegistryHasAllTenPaperTensors) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_EQ(specs.front().name, "NIPS");
+  EXPECT_EQ(specs.back().name, "Amazon");
+  // Ordered by nonzero count, as in Table 2.
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_LE(specs[i - 1].full_nnz, specs[i].full_nnz);
+  }
+}
+
+TEST(Datasets, LookupByNameAndUnknownThrows) {
+  EXPECT_EQ(dataset_by_name("Delicious").full_dims.size(), 4u);
+  EXPECT_THROW(dataset_by_name("nonexistent"), Error);
+}
+
+TEST(Datasets, DensityMatchesTable2OrderOfMagnitude) {
+  // Spot-check two densities against the paper's Table 2.
+  const double nips = dataset_by_name("NIPS").density();
+  EXPECT_GT(nips, 1e-7);
+  EXPECT_LT(nips, 1e-5);  // paper: 1.8e-6
+  const double amazon = dataset_by_name("Amazon").density();
+  EXPECT_GT(amazon, 1e-11);
+  EXPECT_LT(amazon, 1e-9);  // paper: 1.1e-10
+}
+
+TEST(Datasets, AnalogPreservesModeRatiosAndScales) {
+  DatasetAnalog analog = make_analog(dataset_by_name("NELL2"), 20000);
+  EXPECT_EQ(analog.tensor.num_modes(), 3);
+  EXPECT_GT(analog.tensor.nnz(), 10000);
+  // nnz_scale maps analog nnz back to the full 76.9M.
+  EXPECT_NEAR(analog.nnz_scale() * static_cast<double>(analog.tensor.nnz()),
+              76.9e6, 1.0);
+  // Mode-length ratios are approximately preserved (NELL2: 12.1K:9.2K:28.8K).
+  const double r01 = static_cast<double>(analog.tensor.dim(0)) /
+                     static_cast<double>(analog.tensor.dim(1));
+  EXPECT_NEAR(r01, 12100.0 / 9200.0, 0.3);
+}
+
+TEST(Datasets, AnalogClampsTinyModes) {
+  // Vast's third mode has length 2 and must survive scaling.
+  DatasetAnalog analog = make_analog(dataset_by_name("Vast"), 5000);
+  EXPECT_EQ(analog.tensor.dim(2), 2);
+}
+
+TEST(Datasets, AnalogIsDeterministic) {
+  DatasetAnalog a = make_analog(dataset_by_name("Uber"), 3000);
+  DatasetAnalog b = make_analog(dataset_by_name("Uber"), 3000);
+  ASSERT_EQ(a.tensor.nnz(), b.tensor.nnz());
+  EXPECT_DOUBLE_EQ(a.tensor.frobenius_norm_sq(), b.tensor.frobenius_norm_sq());
+}
+
+class AllDatasetAnalogs : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllDatasetAnalogs, GeneratesValidTensor) {
+  DatasetAnalog analog = make_analog(dataset_by_name(GetParam()), 4000);
+  EXPECT_NO_THROW(analog.tensor.validate());
+  EXPECT_GT(analog.tensor.nnz(), 0);
+  EXPECT_EQ(analog.tensor.num_modes(),
+            static_cast<int>(analog.spec.full_dims.size()));
+  for (int m = 0; m < analog.tensor.num_modes(); ++m) {
+    EXPECT_GE(analog.dim_scale(m), 1.0) << "mode " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, AllDatasetAnalogs,
+                         ::testing::Values("NIPS", "Uber", "Chicago", "Vast",
+                                           "Enron", "NELL2", "Flickr",
+                                           "Delicious", "NELL1", "Amazon"));
+
+}  // namespace
+}  // namespace cstf

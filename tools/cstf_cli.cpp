@@ -1,0 +1,169 @@
+// cstf_cli — command-line constrained sparse tensor factorization.
+//
+//   cstf_cli --input data.tns [options]
+//   cstf_cli --dataset Delicious [options]          (synthetic Table-2 analog)
+//
+// Options:
+//   --rank N            factorization rank (default 16)
+//   --iters N           max outer iterations (default 20)
+//   --tol X             fit tolerance for early stop (default 1e-4)
+//   --scheme S          cuadmm | admm | mu | hals | als | bpp (default cuadmm)
+//   --constraint C      nonneg | none | l1:<w> | l1nn:<w> | box:<lo>,<hi> |
+//                       simplex | smooth:<w> (default nonneg)
+//   --device D          a100 | h100 | xeon (cost-model target, default a100)
+//   --seed N            RNG seed for the factor initialization (default 42)
+//   --output PREFIX     write factors to PREFIX.mode<k>.txt and lambda to
+//                       PREFIX.lambda.txt
+//   --checkpoint PATH   save the model as a binary checkpoint (loadable via
+//                       cstf::load_ktensor)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cstf/framework.hpp"
+#include "tensor/datasets.hpp"
+#include "tensor/io.hpp"
+
+namespace {
+
+using namespace cstf;
+
+[[noreturn]] void usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr,
+               "usage: cstf_cli (--input FILE.tns | --dataset NAME) [--rank N]"
+               " [--iters N]\n"
+               "                [--tol X] [--scheme cuadmm|admm|mu|hals|als]\n"
+               "                [--constraint nonneg|none|l1:W|l1nn:W|"
+               "box:LO,HI|simplex|smooth:W]\n"
+               "                [--device a100|h100|xeon] [--seed N]"
+               " [--output PREFIX]\n");
+  std::exit(2);
+}
+
+Proximity parse_constraint(const std::string& spec) {
+  if (spec == "nonneg") return Proximity::non_negative();
+  if (spec == "none") return Proximity::identity();
+  if (spec == "simplex") return Proximity::simplex();
+  if (spec.rfind("l1nn:", 0) == 0) {
+    return Proximity::l1_non_negative(std::atof(spec.c_str() + 5));
+  }
+  if (spec.rfind("l1:", 0) == 0) {
+    return Proximity::l1(std::atof(spec.c_str() + 3));
+  }
+  if (spec.rfind("smooth:", 0) == 0) {
+    return Proximity::smooth(std::atof(spec.c_str() + 7));
+  }
+  if (spec.rfind("box:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const auto comma = rest.find(',');
+    if (comma == std::string::npos) usage("box constraint needs box:LO,HI");
+    return Proximity::box(std::atof(rest.substr(0, comma).c_str()),
+                          std::atof(rest.substr(comma + 1).c_str()));
+  }
+  usage(("unknown constraint: " + spec).c_str());
+}
+
+UpdateScheme parse_scheme(const std::string& spec) {
+  if (spec == "cuadmm") return UpdateScheme::kCuAdmm;
+  if (spec == "admm") return UpdateScheme::kAdmm;
+  if (spec == "mu") return UpdateScheme::kMu;
+  if (spec == "hals") return UpdateScheme::kHals;
+  if (spec == "als") return UpdateScheme::kAls;
+  if (spec == "bpp") return UpdateScheme::kBpp;
+  usage(("unknown scheme: " + spec).c_str());
+}
+
+simgpu::DeviceSpec parse_device(const std::string& spec) {
+  if (spec == "a100") return simgpu::a100();
+  if (spec == "h100") return simgpu::h100();
+  if (spec == "xeon") return simgpu::xeon_8367hc();
+  usage(("unknown device: " + spec).c_str());
+}
+
+void write_matrix(const Matrix& m, const std::string& path) {
+  std::ofstream out(path);
+  CSTF_CHECK_MSG(out.good(), "cannot write " << path);
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (index_t j = 0; j < m.cols(); ++j) {
+      out << m(i, j) << (j + 1 < m.cols() ? '\t' : '\n');
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, dataset, output, checkpoint;
+  FrameworkOptions options;
+  options.rank = 16;
+  options.max_iterations = 20;
+  options.fit_tolerance = 1e-4;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--input") input = value();
+    else if (arg == "--dataset") dataset = value();
+    else if (arg == "--rank") options.rank = std::atoll(value().c_str());
+    else if (arg == "--iters") options.max_iterations = std::atoi(value().c_str());
+    else if (arg == "--tol") options.fit_tolerance = std::atof(value().c_str());
+    else if (arg == "--scheme") options.scheme = parse_scheme(value());
+    else if (arg == "--constraint") options.prox = parse_constraint(value());
+    else if (arg == "--device") options.device = parse_device(value());
+    else if (arg == "--seed") options.seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--output") output = value();
+    else if (arg == "--checkpoint") checkpoint = value();
+    else if (arg == "--help" || arg == "-h") usage(nullptr);
+    else usage(("unknown argument: " + arg).c_str());
+  }
+  if (input.empty() == dataset.empty()) {
+    usage("exactly one of --input / --dataset is required");
+  }
+
+  try {
+    const SparseTensor tensor =
+        input.empty() ? make_analog(dataset).tensor : read_tns_file(input);
+    std::printf("tensor: %s\n", tensor.shape_string().c_str());
+    std::printf("constraint: %s, rank %lld, device %s\n",
+                options.prox.name().c_str(),
+                static_cast<long long>(options.rank),
+                options.device.name.c_str());
+
+    CstfFramework framework(tensor, options);
+    const AuntfResult result = framework.run();
+    std::printf("\n%d iteration(s), final fit %.5f%s\n", result.iterations,
+                result.final_fit, result.converged ? " (converged)" : "");
+    std::printf("modeled %s execution time: %.4f s\n",
+                options.device.name.c_str(),
+                framework.device().modeled_time_s());
+    std::printf("phase breakdown (host wall time):\n");
+    for (const auto& [phase, sec] : framework.driver().phases().totals()) {
+      std::printf("  %-10s %9.4f s\n", phase.c_str(), sec);
+    }
+
+    if (!output.empty()) {
+      const KTensor model = framework.ktensor();
+      for (int m = 0; m < model.num_modes(); ++m) {
+        write_matrix(model.factors[static_cast<std::size_t>(m)],
+                     output + ".mode" + std::to_string(m) + ".txt");
+      }
+      std::ofstream lam(output + ".lambda.txt");
+      for (real_t l : model.lambda) lam << l << '\n';
+      std::printf("factors written to %s.mode*.txt\n", output.c_str());
+    }
+    if (!checkpoint.empty()) {
+      save_ktensor(framework.ktensor(), checkpoint);
+      std::printf("checkpoint written to %s\n", checkpoint.c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cstf_cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
