@@ -13,6 +13,7 @@
 #include "formats/blco.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("ablation_linearize");
   using namespace cstf;
   std::printf("=== Ablation: interleaved vs mode-major linearization ===\n\n");
   std::printf("%-12s %18s %18s %14s\n", "Tensor", "interleaved [b/nnz]",

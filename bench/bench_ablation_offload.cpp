@@ -13,6 +13,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("ablation_offload");
   using namespace cstf;
   const auto gpu = simgpu::a100();
   const index_t rank = 32;

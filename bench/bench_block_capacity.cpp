@@ -10,6 +10,7 @@
 #include "mttkrp/blco_mttkrp.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("block_capacity");
   using namespace cstf;
   const index_t rank = 32;
   std::printf("=== BLCO block-capacity sweep (A100 model, R=%lld) ===\n\n",

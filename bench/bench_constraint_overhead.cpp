@@ -8,6 +8,7 @@
 #include "updates/als.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("constraint_overhead");
   using namespace cstf;
   const auto spec = simgpu::a100();
   const index_t rank = 32;

@@ -10,6 +10,7 @@
 #include "tensor/generate.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("convergence");
   using namespace cstf;
   LowRankTensorParams gen;
   gen.dims = {40, 32, 24};

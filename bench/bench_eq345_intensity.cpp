@@ -9,6 +9,7 @@
 #include "la/cholesky.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("eq345_intensity");
   using namespace cstf;
   std::printf("=== Equations 3-5: ADMM computation / data-movement model ===\n\n");
   const double i_len = 1e6;

@@ -22,6 +22,7 @@ void print_breakdown(const char* label, const bench::ModeledIteration& it) {
 }  // namespace
 
 int main() {
+  cstf::bench::JsonSession session("fig1_breakdown");
   const index_t rank = 32;
   std::printf("=== Figure 1: DenseTF vs SparseTF phase breakdown (Xeon model, R=%lld) ===\n\n",
               static_cast<long long>(rank));

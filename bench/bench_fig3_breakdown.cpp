@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("fig3_breakdown");
   using namespace cstf;
   const index_t rank = 32;
   std::printf("=== Figure 3: cSTF phase breakdown on the largest tensors (R=%lld) ===\n\n",

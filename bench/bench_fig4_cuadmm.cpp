@@ -43,6 +43,7 @@ double admm_time(index_t i_rows, double scale, index_t rank, bool fusion,
 }  // namespace
 
 int main() {
+  cstf::bench::JsonSession session("fig4_cuadmm");
   const index_t rank = 32;
   const auto spec = simgpu::h100();
   std::printf("=== Figure 4: cuADMM optimization speedups over baseline ADMM "

@@ -11,6 +11,11 @@
 #include "bench_util.hpp"
 
 int main() {
+#ifdef CSTF_BENCH_H100
+  cstf::bench::JsonSession session("fig6_e2e_h100");
+#else
+  cstf::bench::JsonSession session("fig5_e2e_a100");
+#endif
   using namespace cstf;
 #ifdef CSTF_BENCH_H100
   const auto spec = simgpu::h100();

@@ -10,6 +10,11 @@
 #include "bench_util.hpp"
 
 int main() {
+#ifdef CSTF_BENCH_H100
+  cstf::bench::JsonSession session("fig10_mu_hals_h100");
+#else
+  cstf::bench::JsonSession session("fig9_mu_hals_a100");
+#endif
   using namespace cstf;
 #ifdef CSTF_BENCH_H100
   const auto spec = simgpu::h100();

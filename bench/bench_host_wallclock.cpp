@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("host_wallclock");
   using namespace cstf;
   const index_t rank = 16;
   std::printf("=== Measured host wall-clock per cSTF iteration (this machine, R=%lld) ===\n\n",

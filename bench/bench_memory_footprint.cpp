@@ -12,6 +12,7 @@
 #include "formats/csf.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("memory_footprint");
   using namespace cstf;
   const index_t rank = 32;
   const double hbm = 80e9;

@@ -4,6 +4,8 @@
 // them for regression tracking of the real implementations.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "formats/alto.hpp"
 #include "formats/blco.hpp"
 #include "formats/csf.hpp"
@@ -227,4 +229,14 @@ BENCHMARK(BM_HalsUpdate);
 }  // namespace
 }  // namespace cstf
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the bench participates in JSON telemetry
+// discovery (the session records no modeled iterations; it still emits an
+// empty, schema-valid BENCH_micro_kernels.json for run_benches.sh).
+int main(int argc, char** argv) {
+  cstf::bench::JsonSession session("micro_kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

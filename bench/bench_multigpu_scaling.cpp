@@ -11,6 +11,7 @@
 #include "multigpu/multi_gpu.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("multigpu_scaling");
   using namespace cstf;
   const index_t rank = 32;
   std::printf("=== Multi-GPU MTTKRP scaling (A100 + NVLink ring, R=%lld) ===\n\n",

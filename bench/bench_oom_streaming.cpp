@@ -13,6 +13,7 @@
 #include "mttkrp/blco_mttkrp.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("oom_streaming");
   using namespace cstf;
   const index_t rank = 32;
   const auto spec = simgpu::a100();

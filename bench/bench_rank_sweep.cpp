@@ -6,6 +6,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("rank_sweep");
   using namespace cstf;
   std::printf("=== Rank sweep {16, 32, 64}: end-to-end speedup vs SPLATT ===\n\n");
   std::printf("%-12s %-8s %12s %12s\n", "Tensor", "Rank", "A100", "H100");

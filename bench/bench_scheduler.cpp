@@ -13,6 +13,7 @@
 #include "scheduler/placement.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("scheduler");
   using namespace cstf;
   const auto gpu_spec = simgpu::a100();
   const index_t rank = 32;

@@ -4,6 +4,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("table1_machines");
   using namespace cstf;
   std::printf("=== Table 1: machine specifications used by the cost model ===\n\n");
   std::printf("%-22s%-14s%-14s%-14s\n", "", "Xeon-8367HC", "A100", "H100");

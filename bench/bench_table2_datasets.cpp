@@ -6,6 +6,7 @@
 #include "bench_util.hpp"
 
 int main() {
+  cstf::bench::JsonSession session("table2_datasets");
   using namespace cstf;
   std::printf("=== Table 2: sparse tensor datasets (paper spec vs generated analog) ===\n\n");
   std::printf("%-11s %-34s %-10s %-10s %-26s %-9s %-9s\n", "Tensor",

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common/env.hpp"
+#include "common/error.hpp"
 #include "common/timer.hpp"
 #include "la/blas.hpp"
 #include "la/elementwise.hpp"
@@ -12,6 +14,107 @@
 #include "tensor/io.hpp"
 
 namespace cstf::bench {
+
+namespace {
+
+JsonSession* g_session = nullptr;
+
+bool bench_json_enabled() {
+  const std::string flag = env_string("CSTF_BENCH_JSON", "");
+  if (!flag.empty() && flag != "0") return true;
+  return !env_string("CSTF_BENCH_JSON_DIR", "").empty();
+}
+
+void append_phase(std::ostringstream& os, const char* name, double modeled,
+                  double wall, bool last = false) {
+  os << '"' << name << "\":{\"modeled_s\":" << simgpu::json::number(modeled)
+     << ",\"wall_s\":" << simgpu::json::number(wall) << '}'
+     << (last ? "" : ",");
+}
+
+}  // namespace
+
+JsonSession::JsonSession(std::string bench_name)
+    : name_(std::move(bench_name)), enabled_(bench_json_enabled()) {
+  CSTF_CHECK_MSG(g_session == nullptr, "only one JsonSession may be active");
+  g_session = this;
+}
+
+JsonSession::~JsonSession() {
+  try {
+    write();
+  } catch (...) {
+    // A failed telemetry write must not take the bench down.
+  }
+  g_session = nullptr;
+}
+
+JsonSession* JsonSession::current() { return g_session; }
+
+std::string JsonSession::output_path() const {
+  const std::string dir = env_string("CSTF_BENCH_JSON_DIR", ".");
+  return dir + "/BENCH_" + name_ + ".json";
+}
+
+void JsonSession::add_record(BenchRecord record) {
+  records_.push_back(std::move(record));
+}
+
+void JsonSession::set_dataset_context(std::string dataset) {
+  dataset_context_ = std::move(dataset);
+}
+
+std::string JsonSession::take_dataset_context() {
+  std::string out;
+  std::swap(out, dataset_context_);
+  return out;
+}
+
+std::string JsonSession::to_json() const {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << simgpu::json::escape(name_)
+     << "\",\"schema_version\":1,\"records\":[";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    if (i > 0) os << ',';
+    os << "{\"dataset\":\"" << simgpu::json::escape(r.dataset)
+       << "\",\"machine\":\"" << simgpu::json::escape(r.machine)
+       << "\",\"rank\":" << r.rank << ",\"phases\":{";
+    append_phase(os, phase::kGram, r.phases.gram, r.wall.gram);
+    append_phase(os, phase::kMttkrp, r.phases.mttkrp, r.wall.mttkrp);
+    append_phase(os, phase::kUpdate, r.phases.update, r.wall.update);
+    append_phase(os, phase::kNormalize, r.phases.normalize, r.wall.normalize,
+                 /*last=*/true);
+    os << "},\"total_modeled_s\":" << simgpu::json::number(r.phases.total())
+       << ",\"kernels\":[";
+    for (std::size_t k = 0; k < r.kernels.size(); ++k) {
+      const BenchKernelRow& row = r.kernels[k];
+      if (k > 0) os << ',';
+      os << "{\"name\":\"" << simgpu::json::escape(row.name)
+         << "\",\"spans\":" << row.spans << ",\"launches\":" << row.launches
+         << ",\"flops\":" << simgpu::json::number(row.flops)
+         << ",\"bytes\":" << simgpu::json::number(row.bytes)
+         << ",\"modeled_s\":" << simgpu::json::number(row.modeled_s)
+         << ",\"wall_s\":" << simgpu::json::number(row.wall_s) << '}';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string JsonSession::write() {
+  if (!enabled_ || written_) return "";
+  const std::string path = output_path();
+  std::ofstream out(path);
+  CSTF_CHECK_MSG(out.good(), "cannot write bench JSON " << path);
+  out << to_json() << '\n';
+  out.close();
+  written_ = true;
+  std::fprintf(stderr, "[bench] wrote %s (%zu record%s)\n", path.c_str(),
+               records_.size(), records_.size() == 1 ? "" : "s");
+  return path;
+}
 
 DatasetAnalog load_dataset(const std::string& name) {
   const DatasetSpec& spec = dataset_by_name(name);
@@ -37,6 +140,9 @@ ModeledIteration modeled_iteration(const DatasetAnalog& data,
   for (int m = 0; m < backend.num_modes(); ++m) {
     mode_scales.push_back(data.dim_scale(m));
   }
+  if (JsonSession::current() != nullptr) {
+    JsonSession::current()->set_dataset_context(data.spec.name);
+  }
   return modeled_iteration(backend, update, spec, rank, mode_scales,
                            data.nnz_scale(), wall);
 }
@@ -51,6 +157,10 @@ ModeledIteration modeled_iteration(const MttkrpBackend& backend,
   const int modes = backend.num_modes();
   if (per_mode) per_mode->assign(static_cast<std::size_t>(modes), {});
   simgpu::Device dev(spec);
+  // The tracer survives the per-phase dev.reset() calls, so its per-kernel
+  // aggregates cover the whole iteration for the telemetry record.
+  simgpu::Tracer tracer;
+  dev.set_tracer(&tracer);
 
   // Factors + cached grams, as the driver holds them.
   Rng rng(7);
@@ -67,6 +177,7 @@ ModeledIteration modeled_iteration(const MttkrpBackend& backend,
   }
 
   ModeledIteration out;
+  ModeledIteration wall_local;  // always measured, so telemetry has wall times
   Matrix s(rank, rank), m_out;
   std::vector<real_t> lambda(static_cast<std::size_t>(rank), 1.0);
 
@@ -78,6 +189,7 @@ ModeledIteration modeled_iteration(const MttkrpBackend& backend,
     // the post-update dsyrk of this mode's factor.
     dev.reset();
     Timer t_gram;
+    tracer.begin_phase(phase::kGram);
     s.set_all(1.0);
     for (int m = 0; m < modes; ++m) {
       if (m != n) la::hadamard_inplace(s, grams[static_cast<std::size_t>(m)]);
@@ -88,11 +200,13 @@ ModeledIteration modeled_iteration(const MttkrpBackend& backend,
       out.gram += dt;
       if (per_mode) (*per_mode)[static_cast<std::size_t>(n)].gram += dt;
     }
-    if (wall) wall->gram += t_gram.seconds();
+    wall_local.gram += t_gram.seconds();
+    tracer.end_phase();
 
     // --- MTTKRP.
     dev.reset();
     Timer t_mttkrp;
+    tracer.begin_phase(phase::kMttkrp);
     if (!m_out.same_shape(h)) m_out.resize(h.rows(), h.cols());
     backend.mttkrp(dev, factors, n, m_out);
     {
@@ -100,22 +214,26 @@ ModeledIteration modeled_iteration(const MttkrpBackend& backend,
       out.mttkrp += dt;
       if (per_mode) (*per_mode)[static_cast<std::size_t>(n)].mttkrp += dt;
     }
-    if (wall) wall->mttkrp += t_mttkrp.seconds();
+    wall_local.mttkrp += t_mttkrp.seconds();
+    tracer.end_phase();
 
     // --- UPDATE.
     dev.reset();
     Timer t_update;
+    tracer.begin_phase(phase::kUpdate);
     update.update(dev, s, m_out, h, states[static_cast<std::size_t>(n)]);
     {
       const double dt = perfmodel::modeled_time_scaled(dev, mode_scale);
       out.update += dt;
       if (per_mode) (*per_mode)[static_cast<std::size_t>(n)].update += dt;
     }
-    if (wall) wall->update += t_update.seconds();
+    wall_local.update += t_update.seconds();
+    tracer.end_phase();
 
     // --- NORMALIZE (column 2-norms absorbed into lambda).
     dev.reset();
     Timer t_norm;
+    tracer.begin_phase(phase::kNormalize);
     {
       simgpu::KernelStats stats;
       stats.flops = 3.0 * static_cast<double>(h.size());
@@ -131,7 +249,35 @@ ModeledIteration modeled_iteration(const MttkrpBackend& backend,
       out.normalize += dt;
       if (per_mode) (*per_mode)[static_cast<std::size_t>(n)].normalize += dt;
     }
-    if (wall) wall->normalize += t_norm.seconds();
+    wall_local.normalize += t_norm.seconds();
+    tracer.end_phase();
+  }
+  if (wall) {
+    wall->gram += wall_local.gram;
+    wall->mttkrp += wall_local.mttkrp;
+    wall->update += wall_local.update;
+    wall->normalize += wall_local.normalize;
+  }
+  if (JsonSession* session = JsonSession::current()) {
+    BenchRecord rec;
+    rec.dataset = session->take_dataset_context();
+    if (rec.dataset.empty()) rec.dataset = "synthetic";
+    rec.machine = spec.name;
+    rec.rank = rank;
+    rec.phases = out;
+    rec.wall = wall_local;
+    for (const auto& [kernel, agg] : tracer.per_kernel()) {
+      BenchKernelRow row;
+      row.name = kernel;
+      row.spans = agg.spans;
+      row.launches = agg.stats.launches;
+      row.flops = agg.stats.flops;
+      row.bytes = agg.stats.total_bytes();
+      row.modeled_s = agg.modeled_s;
+      row.wall_s = agg.wall_s;
+      rec.kernels.push_back(std::move(row));
+    }
+    session->add_record(std::move(rec));
   }
   return out;
 }

@@ -1,5 +1,5 @@
 // Shared bench harness: dataset loading, per-phase modeled timing at full
-// dataset scale, and table formatting.
+// dataset scale, table formatting, and machine-readable JSON telemetry.
 //
 // Modeled-time methodology (see DESIGN.md §2): every kernel executes for
 // real on the host and meters its flops/bytes; benches scale each phase's
@@ -9,14 +9,37 @@
 // reported where meaningful. If CSTF_DATA_DIR is set and contains
 // "<Name>.tns" (FROSTT format), the real tensor is loaded instead of the
 // synthetic analog and all scale factors are 1.
+//
+// JSON telemetry (see DESIGN.md §6): every bench main opens a JsonSession
+// named after the binary. When CSTF_BENCH_JSON is set (non-empty, != "0") or
+// CSTF_BENCH_JSON_DIR names a directory, the session writes
+// BENCH_<name>.json on destruction; each modeled_iteration() call adds one
+// record automatically. Schema (version 1):
+//
+//   {"bench": "<name>", "schema_version": 1, "records": [
+//      {"dataset": "...", "machine": "...", "rank": R,
+//       "phases": {"GRAM":      {"modeled_s": g, "wall_s": gw},
+//                  "MTTKRP":    {...}, "UPDATE": {...}, "NORMALIZE": {...}},
+//       "total_modeled_s": g + m + u + n,     // always the sum of phases
+//       "kernels": [ {"name": "...", "spans": s, "launches": l,
+//                     "flops": f, "bytes": b, "modeled_s": ms,
+//                     "wall_s": ws}, ... ]}, ... ]}
+//
+// "phases"/"total_modeled_s" are scaled to the full-size dataset (the number
+// the tables print); "kernels" rows are the tracer's raw per-kernel
+// aggregates at run scale — modeled_s is roofline time, wall_s is measured
+// host time. scripts/run_benches.sh regenerates every BENCH_*.json and
+// validates them with tools/cstf_json_check.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "cstf/auntf.hpp"
 #include "cstf/framework.hpp"
 #include "perfmodel/admm_model.hpp"
+#include "simgpu/trace.hpp"
 #include "tensor/datasets.hpp"
 #include "updates/block_admm.hpp"
 
@@ -66,6 +89,80 @@ ModeledIteration gpu_iteration(const DatasetAnalog& data,
 ModeledIteration splatt_iteration(const DatasetAnalog& data, index_t rank);
 ModeledIteration planc_sparse_iteration(const DatasetAnalog& data,
                                         UpdateScheme scheme, index_t rank);
+
+/// One per-kernel row of a bench JSON record (tracer aggregate, run scale).
+struct BenchKernelRow {
+  std::string name;
+  std::int64_t spans = 0;
+  std::int64_t launches = 0;
+  double flops = 0.0;
+  double bytes = 0.0;
+  double modeled_s = 0.0;
+  double wall_s = 0.0;
+};
+
+/// One record of a bench JSON file: a modeled outer iteration on one
+/// (dataset, machine, rank) combination.
+struct BenchRecord {
+  std::string dataset;
+  std::string machine;
+  index_t rank = 0;
+  ModeledIteration phases;  ///< full-scale modeled seconds per phase
+  ModeledIteration wall;    ///< measured host seconds per phase
+  std::vector<BenchKernelRow> kernels;
+};
+
+/// RAII bench-JSON session. Each bench main constructs one as its first
+/// statement; modeled_iteration() adds records to the current session, and
+/// the destructor writes BENCH_<name>.json when emission is enabled via
+/// CSTF_BENCH_JSON / CSTF_BENCH_JSON_DIR (see the header comment for the
+/// schema). Exactly one session may exist at a time.
+class JsonSession {
+ public:
+  explicit JsonSession(std::string bench_name);
+  ~JsonSession();
+  JsonSession(const JsonSession&) = delete;
+  JsonSession& operator=(const JsonSession&) = delete;
+
+  /// The active session (nullptr outside a bench main).
+  static JsonSession* current();
+
+  /// True when the environment requests JSON emission.
+  bool enabled() const { return enabled_; }
+  const std::string& name() const { return name_; }
+
+  /// Destination file: $CSTF_BENCH_JSON_DIR/BENCH_<name>.json (the directory
+  /// defaults to the working directory).
+  std::string output_path() const;
+
+  void add_record(BenchRecord record);
+  std::size_t record_count() const { return records_.size(); }
+
+  /// Dataset label applied to the next auto-added record (set by the
+  /// DatasetAnalog overload of modeled_iteration; consumed once).
+  void set_dataset_context(std::string dataset);
+
+  /// The JSON document for the records so far (exposed for tests).
+  std::string to_json() const;
+
+  /// Writes the document now (normally done by the destructor); returns the
+  /// path, or "" when emission is disabled.
+  std::string write();
+
+ private:
+  friend ModeledIteration modeled_iteration(
+      const MttkrpBackend&, const UpdateMethod&, const simgpu::DeviceSpec&,
+      index_t, const std::vector<double>&, double, ModeledIteration*,
+      std::vector<ModeledIteration>*);
+
+  std::string take_dataset_context();
+
+  std::string name_;
+  bool enabled_ = false;
+  bool written_ = false;
+  std::string dataset_context_;
+  std::vector<BenchRecord> records_;
+};
 
 /// Geometric mean of a list of ratios.
 double geomean(const std::vector<double>& values);

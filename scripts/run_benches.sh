@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds Release, runs every bench with JSON telemetry enabled, and validates
+# every emitted BENCH_*.json with tools/cstf_json_check (malformed or
+# schema-violating output fails the script). Outputs land in ./results/json/.
+#
+# Knobs (env vars): CSTF_ANALOG_NNZ (analog size; defaulted small here so the
+# full sweep stays fast), CSTF_DATA_DIR (real FROSTT .tns files),
+# CSTF_THREADS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CSTF_ANALOG_NNZ="${CSTF_ANALOG_NNZ:-20000}"
+
+build_dir=build-bench
+cmake -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j
+
+json_dir=results/json
+mkdir -p "$json_dir"
+rm -f "$json_dir"/BENCH_*.json
+
+for bench in "$build_dir"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "=== $name"
+  CSTF_BENCH_JSON=1 CSTF_BENCH_JSON_DIR="$json_dir" "$bench" > /dev/null
+done
+
+echo
+shopt -s nullglob
+emitted=("$json_dir"/BENCH_*.json)
+if [ "${#emitted[@]}" -eq 0 ]; then
+  echo "run_benches.sh: no BENCH_*.json emitted" >&2
+  exit 1
+fi
+"$build_dir"/tools/cstf_json_check "${emitted[@]}"
+echo "run_benches.sh: ${#emitted[@]} telemetry file(s) valid in $json_dir/"

@@ -112,12 +112,14 @@ real_t Auntf::iterate() {
 
     {
       auto t = phases_.scope(phase::kGram);
+      simgpu::ScopedPhase tp(dev_.tracer(), phase::kGram);
       hadamard_of_grams(dev_, grams_, n, s);
     }
     close_phase(phase::kGram);
 
     {
       auto t = phases_.scope(phase::kMttkrp);
+      simgpu::ScopedPhase tp(dev_.tracer(), phase::kMttkrp);
       if (!m_out.same_shape(h)) m_out.resize(h.rows(), h.cols());
       backend_.mttkrp(dev_, factors_, n, m_out);
     }
@@ -125,6 +127,7 @@ real_t Auntf::iterate() {
 
     {
       auto t = phases_.scope(phase::kUpdate);
+      simgpu::ScopedPhase tp(dev_.tracer(), phase::kUpdate);
       updates_[static_cast<std::size_t>(n)]->update(
           dev_, s, m_out, h, states_[static_cast<std::size_t>(n)]);
     }
@@ -140,12 +143,14 @@ real_t Auntf::iterate() {
 
     {
       auto t = phases_.scope(phase::kNormalize);
+      simgpu::ScopedPhase tp(dev_.tracer(), phase::kNormalize);
       normalize_device(dev_, h, lambda_);
     }
     close_phase(phase::kNormalize);
 
     {
       auto t = phases_.scope(phase::kGram);
+      simgpu::ScopedPhase tp(dev_.tracer(), phase::kGram);
       simgpu::dsyrk_gram(dev_, h, grams_[static_cast<std::size_t>(n)]);
     }
     close_phase(phase::kGram);
@@ -157,6 +162,7 @@ real_t Auntf::iterate() {
 
 real_t Auntf::compute_fit(const Matrix& last_m,
                           const Matrix& gram_unnormalized) {
+  simgpu::ScopedPhase tp(dev_.tracer(), "FIT");
   const int modes = backend_.num_modes();
   const index_t rank = options_.rank;
   const int last = modes - 1;

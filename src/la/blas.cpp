@@ -162,6 +162,9 @@ void geam(Op op_a, Op op_b, real_t alpha, const Matrix& a, real_t beta,
              op_cols(a, op_a) == op_cols(b, op_b));
   const index_t m = c.rows(), n = c.cols();
   if (op_a == Op::kNone && op_b == Op::kNone) {
+    // Index-aligned elementwise update: element i of C depends only on
+    // element i of A and B, so C aliasing either input is well-defined even
+    // across parallel blocks (the unfused ADMM updates U in place this way).
     const real_t* pa = a.data();
     const real_t* pb = b.data();
     real_t* pc = c.data();
@@ -170,6 +173,12 @@ void geam(Op op_a, Op op_b, real_t alpha, const Matrix& a, real_t beta,
     });
     return;
   }
+  // A transposed operand is read at (j,i) while C is written at (i,j); an
+  // aliased output would read elements it already overwrote.
+  CSTF_CHECK_MSG(op_a == Op::kNone || c.data() != a.data(),
+                 "geam: output must not alias a transposed A operand");
+  CSTF_CHECK_MSG(op_b == Op::kNone || c.data() != b.data(),
+                 "geam: output must not alias a transposed B operand");
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < m; ++i) {
       const real_t va = (op_a == Op::kNone) ? a(i, j) : a(j, i);

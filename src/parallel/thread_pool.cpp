@@ -55,7 +55,9 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   }
   cv_start_.notify_all();
 
-  // The caller participates as worker 0.
+  // The caller participates as worker 0. Its exception goes through the
+  // same first-recorded-wins slot as the workers' so no error is ever
+  // silently dropped and exactly one — the first recorded — propagates.
   tls_in_parallel = true;
   std::exception_ptr caller_error;
   try {
@@ -66,9 +68,11 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   tls_in_parallel = false;
 
   std::unique_lock<std::mutex> lock(mu_);
+  if (caller_error && !first_error_) first_error_ = caller_error;
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
-  if (caller_error) std::rethrow_exception(caller_error);
+  // Always take-and-clear so a recorded error can never dangle into (or be
+  // re-reported by) a later run.
   if (first_error_) {
     auto err = first_error_;
     first_error_ = nullptr;

@@ -1,5 +1,7 @@
 #include "simgpu/dblas.hpp"
 
+#include "common/timer.hpp"
+
 namespace cstf::simgpu {
 
 namespace {
@@ -34,8 +36,9 @@ void dgemm(Device& dev, la::Op op_a, la::Op op_b, real_t alpha,
   }
   stats.parallel_items = m * n;
   stats.launches = 1;
+  Timer wall;
   la::gemm(op_a, op_b, alpha, a, b, beta, c);
-  dev.record("dgemm", stats);
+  dev.record("dgemm", stats, wall.seconds());
 }
 
 void dsyrk_gram(Device& dev, const Matrix& a, Matrix& s) {
@@ -46,8 +49,9 @@ void dsyrk_gram(Device& dev, const Matrix& a, Matrix& s) {
   stats.bytes_streamed = matrix_bytes(a) + matrix_bytes(s);
   stats.parallel_items = r * (r + 1.0) / 2.0;
   stats.launches = 1;
+  Timer wall;
   la::gram(a, s);
-  dev.record("dsyrk", stats);
+  dev.record("dsyrk", stats, wall.seconds());
 }
 
 void dgeam(Device& dev, real_t alpha, const Matrix& a, real_t beta,
@@ -58,8 +62,9 @@ void dgeam(Device& dev, real_t alpha, const Matrix& a, real_t beta,
   stats.bytes_streamed = 3.0 * n * kWord;  // read A, read B, write C
   stats.parallel_items = n;
   stats.launches = 1;
+  Timer wall;
   la::geam(la::Op::kNone, la::Op::kNone, alpha, a, beta, b, c);
-  dev.record("dgeam", stats);
+  dev.record("dgeam", stats, wall.seconds());
 }
 
 void dpotrf(Device& dev, const Matrix& s, Matrix& l) {
@@ -72,8 +77,9 @@ void dpotrf(Device& dev, const Matrix& s, Matrix& l) {
   stats.serial_depth = r * r;
   stats.parallel_items = r;
   stats.launches = 1;
+  Timer wall;
   la::cholesky_factor(s, l);
-  dev.record("dpotrf", stats);
+  dev.record("dpotrf", stats, wall.seconds());
 }
 
 void dpotrs(Device& dev, const Matrix& l, Matrix& b) {
@@ -89,8 +95,9 @@ void dpotrs(Device& dev, const Matrix& l, Matrix& b) {
   stats.serial_depth = 2.0 * r * r;
   stats.parallel_items = cols;
   stats.launches = 2;
+  Timer wall;
   la::cholesky_solve(l, b);
-  dev.record("dpotrs", stats);
+  dev.record("dpotrs", stats, wall.seconds());
 }
 
 void dpotrs_right(Device& dev, const Matrix& l, Matrix& b) {
@@ -108,8 +115,9 @@ void dpotrs_right(Device& dev, const Matrix& l, Matrix& b) {
   // Dependent substitution chains preclude FMA pipelining; dense TRSM with a
   // small triangular factor runs far below GEMM efficiency on every target.
   stats.compute_efficiency = 0.15;
+  Timer wall;
   la::cholesky_solve_right(l, b);
-  dev.record("dpotrs_right", stats);
+  dev.record("dpotrs_right", stats, wall.seconds());
 }
 
 void dpotri(Device& dev, const Matrix& l, Matrix& inverse) {
@@ -120,8 +128,9 @@ void dpotri(Device& dev, const Matrix& l, Matrix& inverse) {
   stats.serial_depth = 2.0 * r * r;
   stats.parallel_items = r;
   stats.launches = 1;
+  Timer wall;
   la::cholesky_invert(l, inverse);
-  dev.record("dpotri", stats);
+  dev.record("dpotri", stats, wall.seconds());
 }
 
 real_t dnrm2_sq(Device& dev, const Matrix& a) {
@@ -131,8 +140,10 @@ real_t dnrm2_sq(Device& dev, const Matrix& a) {
   stats.bytes_streamed = n * kWord;
   stats.parallel_items = n;
   stats.launches = 1;
-  dev.record("dnrm2", stats);
-  return la::frobenius_norm_sq(a);
+  Timer wall;
+  const real_t result = la::frobenius_norm_sq(a);
+  dev.record("dnrm2", stats, wall.seconds());
+  return result;
 }
 
 }  // namespace cstf::simgpu

@@ -23,7 +23,9 @@ void dgemm(Device& dev, la::Op op_a, la::Op op_b, real_t alpha,
 /// S = A^T A (cublasDsyrk, full storage).
 void dsyrk_gram(Device& dev, const Matrix& a, Matrix& s);
 
-/// C = alpha*A + beta*B elementwise (cublasDgeam, no transpose).
+/// C = alpha*A + beta*B elementwise (cublasDgeam, no transpose). C may alias
+/// A and/or B (la::geam's non-transposed path is index-aligned), which the
+/// unfused ADMM's in-place dual update relies on.
 void dgeam(Device& dev, real_t alpha, const Matrix& a, real_t beta,
            const Matrix& b, Matrix& c);
 

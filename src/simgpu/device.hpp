@@ -7,6 +7,7 @@
 #include "simgpu/cost_model.hpp"
 #include "simgpu/counters.hpp"
 #include "simgpu/device_spec.hpp"
+#include "simgpu/trace.hpp"
 
 namespace cstf::simgpu {
 
@@ -23,11 +24,25 @@ class Device {
 
   const DeviceSpec& spec() const { return spec_; }
 
-  /// Records one launch (or a batch) under `kernel_name`.
-  void record(const std::string& kernel_name, const KernelStats& stats) {
+  /// Records one launch (or a batch) under `kernel_name`. `wall_s` is the
+  /// measured host execution time of the launch when the caller timed it
+  /// (simgpu::launch and the dblas wrappers do); it feeds the attached
+  /// tracer's spans and does not affect the counter totals.
+  void record(const std::string& kernel_name, const KernelStats& stats,
+              double wall_s = 0.0) {
     per_kernel_[kernel_name] += stats;
     total_ += stats;
+    if (tracer_ != nullptr) {
+      tracer_->add_span(kernel_name, stats, wall_s,
+                        model_time(stats, spec_).total_s);
+    }
   }
+
+  /// Attaches (or detaches, with nullptr) a span tracer. The tracer must
+  /// outlive the device or be detached first; it is not owned and survives
+  /// reset(), so a trace can cover several metering windows.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
 
   /// Accumulated statistics since the last reset.
   const KernelStats& total() const { return total_; }
@@ -62,6 +77,7 @@ class Device {
   DeviceSpec spec_;
   KernelStats total_;
   std::map<std::string, KernelStats> per_kernel_;
+  Tracer* tracer_ = nullptr;  // not owned; optional
 };
 
 }  // namespace cstf::simgpu

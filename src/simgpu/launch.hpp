@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "common/types.hpp"
 #include "parallel/parallel_for.hpp"
 #include "simgpu/device.hpp"
@@ -60,8 +61,8 @@ void launch(Device& device, const std::string& kernel_name, LaunchConfig cfg,
   if (stats.parallel_items == 0.0) {
     stats.parallel_items = static_cast<double>(cfg.grid_dim * cfg.block_dim);
   }
-  device.record(kernel_name, stats);
 
+  Timer wall;
   parallel_for(0, cfg.grid_dim, [&](index_t block) {
     std::vector<real_t> shared(static_cast<std::size_t>(cfg.shmem_reals), 0.0);
     KernelCtx ctx;
@@ -74,6 +75,7 @@ void launch(Device& device, const std::string& kernel_name, LaunchConfig cfg,
       body(ctx);
     }
   }, /*grain=*/1);
+  device.record(kernel_name, stats, wall.seconds());
 }
 
 /// Grid-stride helper: number of blocks covering `n` items with `block_dim`

@@ -23,11 +23,13 @@ void AdmmUpdate::update(simgpu::Device& dev, const Matrix& s, const Matrix& m,
   CSTF_CHECK(s.cols() == rank);
   CSTF_CHECK(m.cols() == rank && h.cols() == rank && m.rows() == h.rows());
 
-  // rho <- trace(S)/R (Algorithm 2 line 2).
+  // rho <- trace(S)/R (Algorithm 2 line 2). The degenerate all-zero-factor
+  // fallback is clamped here, and only here, so the fused kernels and the
+  // unfused BLAS chain see the identical rho (> 0); the kernels assert it.
   real_t rho = 0.0;
   for (index_t r = 0; r < rank; ++r) rho += s(r, r);
   rho /= static_cast<real_t>(rank);
-  if (rho <= 0.0) rho = 1.0;  // degenerate all-zero factors
+  if (rho <= 0.0) rho = 1.0;
 
   // Factor S + rho*I once per update (line 3); reused by every inner
   // iteration.

@@ -32,6 +32,8 @@ void kernel_compute_auxiliary(simgpu::Device& dev, const Matrix& m,
                               const Matrix& h, const Matrix& u, real_t rho,
                               Matrix& t) {
   CSTF_CHECK(m.same_shape(h) && m.same_shape(u) && m.same_shape(t));
+  CSTF_CHECK_MSG(rho > 0.0, "kernel_compute_auxiliary requires rho > 0, got "
+                                << rho);
   const index_t n = m.size();
   const real_t* pm = m.data();
   const real_t* ph = h.data();
@@ -51,11 +53,15 @@ void kernel_apply_proximity(simgpu::Device& dev, const Proximity& prox,
                             Matrix& h, real_t* delta_h_sq) {
   CSTF_CHECK(prox.elementwise());
   CSTF_CHECK(t.same_shape(u) && t.same_shape(h));
+  // The degenerate-rho clamp lives in AdmmUpdate::update; a silent fallback
+  // here would let the fused and unfused paths disagree on the prox scaling.
+  CSTF_CHECK_MSG(rho > 0.0, "kernel_apply_proximity requires rho > 0, got "
+                                << rho);
   const index_t n = t.size();
   const real_t* pt = t.data();
   const real_t* pu = u.data();
   real_t* ph = h.data();
-  const real_t inv_rho = rho > 0.0 ? 1.0 / rho : 1.0;
+  const real_t inv_rho = 1.0 / rho;
   *delta_h_sq = 0.0;
   real_t* out_sq = delta_h_sq;
   simgpu::launch(dev, "admm_apply_proximity", config_for(n),

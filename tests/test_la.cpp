@@ -207,6 +207,44 @@ TEST(Geam, TransposedOperand) {
   }
 }
 
+// Regression: the unfused ADMM dual update writes U = 1.0*U + 1.0*T with the
+// output aliasing the first input. The NN path is index-aligned elementwise,
+// so aliasing either operand must be exact.
+TEST(Geam, OutputMayAliasFirstInputWhenUntransposed) {
+  Matrix a = random_matrix(13, 4, 21);
+  const Matrix a_orig = a;
+  Matrix b = random_matrix(13, 4, 22);
+  la::geam(Op::kNone, Op::kNone, 1.0, a, 2.0, b, a);  // c == a
+  for (index_t j = 0; j < 4; ++j) {
+    for (index_t i = 0; i < 13; ++i) {
+      EXPECT_DOUBLE_EQ(a(i, j), a_orig(i, j) + 2.0 * b(i, j));
+    }
+  }
+}
+
+TEST(Geam, OutputMayAliasSecondInputWhenUntransposed) {
+  Matrix a = random_matrix(7, 6, 23);
+  Matrix b = random_matrix(7, 6, 24);
+  const Matrix b_orig = b;
+  la::geam(Op::kNone, Op::kNone, -1.5, a, 1.0, b, b);  // c == b
+  for (index_t j = 0; j < 6; ++j) {
+    for (index_t i = 0; i < 7; ++i) {
+      EXPECT_DOUBLE_EQ(b(i, j), -1.5 * a(i, j) + b_orig(i, j));
+    }
+  }
+}
+
+// Regression: a transposed operand is read at (j,i) while C writes (i,j);
+// aliasing used to silently read overwritten elements. It must throw now.
+TEST(Geam, AliasingTransposedOperandThrows) {
+  Matrix a = random_matrix(5, 5, 25);
+  Matrix b = random_matrix(5, 5, 26);
+  EXPECT_THROW(la::geam(Op::kTranspose, Op::kNone, 1.0, a, 1.0, b, a), Error);
+  EXPECT_THROW(la::geam(Op::kNone, Op::kTranspose, 1.0, a, 1.0, b, b), Error);
+  // The untransposed operand may still alias while the other is transposed.
+  EXPECT_NO_THROW(la::geam(Op::kNone, Op::kTranspose, 1.0, a, 1.0, b, a));
+}
+
 TEST(VectorOps, AxpyScalDotNrm2) {
   std::vector<real_t> x{1, 2, 3}, y{4, 5, 6};
   la::axpy(3, 2.0, x.data(), y.data());

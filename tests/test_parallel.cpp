@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -62,6 +65,35 @@ TEST(ThreadPool, CallerExceptionPropagates) {
                  if (w == 0) throw Error("boom from caller");
                }),
                Error);
+}
+
+// Regression: when a worker and the caller both throw, the caller's error
+// used to win unconditionally and the worker's was silently dropped (and
+// could leak into the next run). The first-recorded error must propagate.
+TEST(ThreadPool, WorkerErrorWinsWhenCallerAlsoThrows) {
+  ThreadPool pool(4);
+  std::string message;
+  try {
+    pool.run([&](std::size_t w) {
+      if (w == 1) throw Error("worker error");
+      if (w == 0) {
+        // Give the worker ample time to record its error first, then fail
+        // on the caller too.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        throw Error("caller error");
+      }
+    });
+    FAIL() << "run() must rethrow";
+  } catch (const Error& e) {
+    message = e.what();
+  }
+  EXPECT_NE(message.find("worker error"), std::string::npos) << message;
+
+  // The error slot must be cleared: a subsequent clean run neither throws
+  // nor replays the stale exception.
+  std::atomic<int> ok{0};
+  EXPECT_NO_THROW(pool.run([&](std::size_t) { ok.fetch_add(1); }));
+  EXPECT_EQ(ok.load(), 4);
 }
 
 TEST(ThreadPool, InParallelRegionFlagIsSetInsideRun) {

@@ -1,0 +1,311 @@
+// Tests for the tracing/telemetry subsystem: span recording and phase
+// nesting, per-kernel aggregation (which must match the Device's own
+// counters exactly), the chrome://tracing and bench-JSON exporters, the JSON
+// parser, and CSTF_BENCH_JSON-driven emission from a bench JsonSession.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/launch.hpp"
+#include "simgpu/trace.hpp"
+
+namespace cstf {
+namespace {
+
+using simgpu::Tracer;
+namespace json = simgpu::json;
+
+simgpu::KernelStats make_stats(double flops, double bytes, int launches = 1) {
+  simgpu::KernelStats s;
+  s.flops = flops;
+  s.bytes_streamed = bytes;
+  s.parallel_items = 64.0;
+  s.launches = launches;
+  return s;
+}
+
+TEST(Tracer, RecordsSpansWithPhasePath) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.current_phase(), "");
+  tracer.add_span("bare", make_stats(1, 8), 0.0, 1e-6);
+  {
+    simgpu::ScopedPhase outer(&tracer, "UPDATE");
+    EXPECT_EQ(tracer.current_phase(), "UPDATE");
+    tracer.add_span("k1", make_stats(10, 80), 0.0, 1e-6);
+    {
+      simgpu::ScopedPhase inner(&tracer, "inner");
+      EXPECT_EQ(tracer.current_phase(), "UPDATE/inner");
+      EXPECT_EQ(tracer.phase_depth(), 2u);
+      tracer.add_span("k2", make_stats(20, 160), 0.0, 1e-6);
+    }
+    EXPECT_EQ(tracer.current_phase(), "UPDATE");
+  }
+  EXPECT_EQ(tracer.current_phase(), "");
+  EXPECT_EQ(tracer.phase_depth(), 0u);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].kernel, "bare");
+  EXPECT_EQ(spans[0].phase, "");
+  EXPECT_EQ(spans[1].phase, "UPDATE");
+  EXPECT_EQ(spans[2].phase, "UPDATE/inner");
+  ASSERT_EQ(tracer.phase_spans().size(), 2u);  // inner closed first
+  EXPECT_EQ(tracer.phase_spans()[0].phase, "UPDATE/inner");
+}
+
+TEST(Tracer, NullTracerScopedPhaseIsNoOp) {
+  simgpu::ScopedPhase p(nullptr, "UPDATE");  // must not crash
+}
+
+TEST(Tracer, AggregationMatchesDeviceCountersExactly) {
+  // The acceptance bar for --profile: the tracer's per-kernel flops/bytes/
+  // launches must equal the Device's own per-kernel counters, bit for bit,
+  // because both sum with KernelStats::operator+=.
+  simgpu::Device dev(simgpu::a100());
+  Tracer tracer;
+  dev.set_tracer(&tracer);
+
+  dev.record("a", make_stats(3.5, 24.0));
+  dev.record("b", make_stats(100.0, 800.0, 2));
+  dev.record("a", make_stats(1.25, 16.0));
+  dev.record("a", make_stats(0.5, 8.0));
+
+  const auto agg = tracer.per_kernel();
+  ASSERT_EQ(agg.size(), dev.per_kernel().size());
+  for (const auto& [name, stats] : dev.per_kernel()) {
+    ASSERT_TRUE(agg.count(name)) << name;
+    const simgpu::KernelStats& t = agg.at(name).stats;
+    EXPECT_EQ(t.flops, stats.flops) << name;
+    EXPECT_EQ(t.bytes_streamed, stats.bytes_streamed) << name;
+    EXPECT_EQ(t.bytes_reused, stats.bytes_reused) << name;
+    EXPECT_EQ(t.bytes_random, stats.bytes_random) << name;
+    EXPECT_EQ(t.launches, stats.launches) << name;
+    EXPECT_EQ(t.parallel_items, stats.parallel_items) << name;
+  }
+  EXPECT_EQ(agg.at("a").spans, 3);
+  EXPECT_EQ(agg.at("b").spans, 1);
+
+  // Per-span modeled time sums to the per-kernel aggregate and the total.
+  double modeled = 0.0;
+  for (const auto& s : tracer.spans()) modeled += s.modeled_s;
+  EXPECT_DOUBLE_EQ(tracer.total_modeled_s(), modeled);
+
+  // Real kernels through simgpu::launch carry wall time into spans.
+  tracer.clear();
+  dev.reset();
+  simgpu::launch(dev, "busy", simgpu::LaunchConfig{1, 32, 0},
+                 make_stats(32, 256), [&](const simgpu::KernelCtx&) {});
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GT(spans[0].wall_s, 0.0);
+}
+
+TEST(Tracer, AggregationSurvivesDeviceReset) {
+  // bench_util resets the device per phase; the tracer must keep the whole
+  // history so bench JSON kernel rows cover the full iteration.
+  simgpu::Device dev(simgpu::a100());
+  Tracer tracer;
+  dev.set_tracer(&tracer);
+  dev.record("k", make_stats(1, 8));
+  dev.reset();
+  dev.record("k", make_stats(2, 16));
+  EXPECT_EQ(tracer.per_kernel().at("k").stats.flops, 3.0);
+  EXPECT_EQ(dev.per_kernel().at("k").flops, 2.0);  // device forgot, by design
+}
+
+TEST(Tracer, PerPhaseAggregation) {
+  Tracer tracer;
+  {
+    simgpu::ScopedPhase p(&tracer, "GRAM");
+    tracer.add_span("k", make_stats(10, 80), 0.0, 1.0);
+  }
+  {
+    simgpu::ScopedPhase p(&tracer, "MTTKRP");
+    tracer.add_span("k", make_stats(30, 240), 0.0, 3.0);
+  }
+  const auto by_phase = tracer.per_phase();
+  ASSERT_EQ(by_phase.size(), 2u);
+  EXPECT_DOUBLE_EQ(by_phase.at("GRAM").modeled_s, 1.0);
+  EXPECT_DOUBLE_EQ(by_phase.at("MTTKRP").modeled_s, 3.0);
+  EXPECT_DOUBLE_EQ(by_phase.at("MTTKRP").stats.flops, 30.0);
+}
+
+TEST(Tracer, SummaryTableListsKernels) {
+  Tracer tracer;
+  tracer.add_span("dominant", make_stats(1e9, 1e8), 0.0, 2.0);
+  tracer.add_span("minor", make_stats(1e3, 1e2), 0.0, 0.5);
+  const std::string table = tracer.summary_table();
+  EXPECT_NE(table.find("dominant"), std::string::npos);
+  EXPECT_NE(table.find("minor"), std::string::npos);
+  // Sorted by modeled time descending: dominant first.
+  EXPECT_LT(table.find("dominant"), table.find("minor"));
+}
+
+TEST(Json, ParserRoundTrip) {
+  const std::string doc =
+      R"({"a": [1, 2.5, -3e2], "b": {"c": "x\"y"}, "d": true, "e": null})";
+  const json::Value v = json::parse(doc);
+  ASSERT_EQ(v.type, json::Value::Type::kObject);
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].num, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].num, -300.0);
+  EXPECT_EQ(v.find("b")->find("c")->str, "x\"y");
+  EXPECT_TRUE(v.find("d")->boolean);
+  EXPECT_EQ(v.find("e")->type, json::Value::Type::kNull);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{\"a\":1,}", "nul",
+                          "\"unterminated", "1 2", "{\"a\" 1}", "[1 2]"}) {
+    EXPECT_THROW(json::parse(bad), Error) << bad;
+    EXPECT_FALSE(json::valid(bad)) << bad;
+  }
+  EXPECT_TRUE(json::valid("{\"a\": [1, 2]}"));
+}
+
+TEST(Json, NumberFormattingRoundTrips) {
+  for (double v : {0.0, 1.0, -2.5, 1e-300, 3.141592653589793, 1e17}) {
+    const json::Value parsed = json::parse(json::number(v));
+    EXPECT_DOUBLE_EQ(parsed.num, v);
+  }
+  // Non-finite values are not representable; they serialize as 0.
+  EXPECT_TRUE(json::valid(json::number(1.0 / 0.0)));
+}
+
+TEST(Tracer, ChromeTraceJsonIsValidAndComplete) {
+  Tracer tracer;
+  {
+    simgpu::ScopedPhase p(&tracer, "UPDATE");
+    tracer.add_span("k1", make_stats(10, 80), 1e-5, 1e-6);
+  }
+  tracer.add_span("k2", make_stats(20, 160), 0.0, 2e-6);
+  const std::string doc = tracer.chrome_trace_json();
+  const json::Value v = json::parse(doc);
+  const json::Value* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 3u);  // 2 kernel spans + 1 phase
+  int phases = 0, kernels = 0;
+  for (const json::Value& e : events->array) {
+    ASSERT_EQ(e.find("ph")->str, "X");
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("dur"), nullptr);
+    if (e.find("cat")->str == "phase") ++phases;
+    if (e.find("cat")->str == "kernel") ++kernels;
+  }
+  EXPECT_EQ(phases, 1);
+  EXPECT_EQ(kernels, 2);
+}
+
+// --- bench JSON session -----------------------------------------------------
+
+struct EnvGuard {
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() { unsetenv(name_); }
+  const char* name_;
+};
+
+bench::ModeledIteration tiny_modeled_iteration(bench::ModeledIteration* wall) {
+  const DatasetSpec& spec = dataset_by_name("Uber");
+  DatasetAnalog data = make_analog(spec, /*target_nnz=*/2000);
+  BlcoBackend backend(data.tensor);
+  AdmmOptions opt;
+  opt.prox = Proximity::non_negative();
+  opt.inner_iterations = 3;
+  AdmmUpdate update(opt);
+  return bench::modeled_iteration(data, backend, update, simgpu::a100(),
+                                  /*rank=*/6, wall);
+}
+
+TEST(BenchJson, SessionWritesSchemaValidFileWhenEnabled) {
+  EnvGuard enable("CSTF_BENCH_JSON", "1");
+  EnvGuard dir("CSTF_BENCH_JSON_DIR", ::testing::TempDir().c_str());
+  std::string path;
+  bench::ModeledIteration wall;
+  bench::ModeledIteration modeled;
+  {
+    bench::JsonSession session("trace_test");
+    EXPECT_TRUE(session.enabled());
+    EXPECT_EQ(bench::JsonSession::current(), &session);
+    modeled = tiny_modeled_iteration(&wall);
+    ASSERT_EQ(session.record_count(), 1u);
+    path = session.write();
+    ASSERT_FALSE(path.empty());
+  }
+  EXPECT_EQ(bench::JsonSession::current(), nullptr);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const json::Value doc = json::parse(buf.str());
+  EXPECT_EQ(doc.find("bench")->str, "trace_test");
+  const json::Value* records = doc.find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->array.size(), 1u);
+  const json::Value& rec = records->array[0];
+  EXPECT_EQ(rec.find("dataset")->str, "Uber");
+  EXPECT_EQ(rec.find("machine")->str, "A100");
+  EXPECT_DOUBLE_EQ(rec.find("rank")->num, 6.0);
+
+  // Per-phase modeled seconds must sum to the reported iteration total, and
+  // match what modeled_iteration returned to the caller.
+  const json::Value* phases = rec.find("phases");
+  ASSERT_NE(phases, nullptr);
+  double sum = 0.0;
+  for (const char* name : {"GRAM", "MTTKRP", "UPDATE", "NORMALIZE"}) {
+    const json::Value* p = phases->find(name);
+    ASSERT_NE(p, nullptr) << name;
+    sum += p->find("modeled_s")->num;
+    EXPECT_GE(p->find("wall_s")->num, 0.0);
+  }
+  EXPECT_NEAR(rec.find("total_modeled_s")->num, sum, 1e-12 + 1e-9 * sum);
+  EXPECT_NEAR(rec.find("total_modeled_s")->num, modeled.total(),
+              1e-9 * modeled.total());
+
+  // Kernel rows exist and carry positive work.
+  const json::Value* kernels = rec.find("kernels");
+  ASSERT_NE(kernels, nullptr);
+  EXPECT_GT(kernels->array.size(), 0u);
+  bool saw_mttkrp_work = false;
+  for (const json::Value& row : kernels->array) {
+    ASSERT_NE(row.find("name"), nullptr);
+    if (row.find("flops")->num > 0) saw_mttkrp_work = true;
+  }
+  EXPECT_TRUE(saw_mttkrp_work);
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, DisabledSessionWritesNothing) {
+  // Neither env var set: write() is a no-op returning "".
+  unsetenv("CSTF_BENCH_JSON");
+  unsetenv("CSTF_BENCH_JSON_DIR");
+  bench::JsonSession session("trace_test_disabled");
+  EXPECT_FALSE(session.enabled());
+  tiny_modeled_iteration(nullptr);
+  EXPECT_EQ(session.record_count(), 1u);  // records accumulate regardless
+  EXPECT_EQ(session.write(), "");
+  std::ifstream probe(session.output_path());
+  EXPECT_FALSE(probe.good());
+}
+
+TEST(BenchJson, ToJsonAlwaysParses) {
+  bench::JsonSession session("empty");
+  const json::Value doc = json::parse(session.to_json());
+  EXPECT_EQ(doc.find("bench")->str, "empty");
+  EXPECT_EQ(doc.find("records")->array.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cstf

@@ -8,7 +8,9 @@
 #include "common/random.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
+#include "common/error.hpp"
 #include "updates/admm.hpp"
+#include "updates/admm_kernels.hpp"
 #include "updates/als.hpp"
 #include "updates/block_admm.hpp"
 #include "updates/bpp.hpp"
@@ -321,6 +323,52 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(name_info.param.fusion ? "OF" : "noOF") +
              (name_info.param.preinversion ? "_PI" : "_noPI");
     });
+
+// Regression: kernel_apply_proximity used to fall back silently to
+// inv_rho = 1 on rho <= 0, letting the fused path scale the prox differently
+// from the unfused BLAS chain. The clamp lives in AdmmUpdate::update; the
+// kernels must reject a non-positive rho outright.
+TEST(AdmmKernels, NonPositiveRhoThrows) {
+  simgpu::Device dev(simgpu::a100());
+  Matrix m(6, 3), h(6, 3), u(6, 3), t(6, 3);
+  real_t delta = 0.0;
+  EXPECT_THROW(kernel_apply_proximity(dev, Proximity::non_negative(), 0.0, t,
+                                      u, h, &delta),
+               Error);
+  EXPECT_THROW(kernel_apply_proximity(dev, Proximity::non_negative(), -2.0, t,
+                                      u, h, &delta),
+               Error);
+  EXPECT_THROW(kernel_compute_auxiliary(dev, m, h, u, 0.0, t), Error);
+}
+
+// Degenerate rho (all-zero S → trace 0) goes through the centralized clamp,
+// and the fused/unfused paths must agree on the clamped problem.
+TEST(Admm, DegenerateRhoClampedConsistentlyAcrossPaths) {
+  const index_t i_len = 40, rank = 5;
+  Matrix s(rank, rank);  // all zeros: trace(S)/R = 0, clamp kicks in
+  Rng rng(17);
+  Matrix m(i_len, rank);
+  m.fill_uniform(rng, -1.0, 1.0);
+  Matrix h0(i_len, rank);
+  h0.fill_uniform(rng, 0.0, 1.0);
+
+  Matrix results[2];
+  int idx = 0;
+  for (bool fusion : {false, true}) {
+    AdmmOptions opt;
+    opt.prox = Proximity::non_negative();
+    opt.inner_iterations = 5;
+    opt.operation_fusion = fusion;
+    AdmmUpdate admm(opt);
+    simgpu::Device dev(simgpu::a100());
+    Matrix h = h0;
+    ModeState state;
+    EXPECT_NO_THROW(admm.update(dev, s, m, h, state));
+    EXPECT_DOUBLE_EQ(admm.last().rho, 1.0);  // the documented clamp value
+    results[idx++] = std::move(h);
+  }
+  EXPECT_LT(max_abs_diff(results[0], results[1]), 1e-9);
+}
 
 TEST(Admm, AllFourConfigurationsAgreeNumerically) {
   // OF and PI are performance transformations; the math is identical, so all

@@ -16,6 +16,11 @@
 //                       PREFIX.lambda.txt
 //   --checkpoint PATH   save the model as a binary checkpoint (loadable via
 //                       cstf::load_ktensor)
+//   --profile           print a per-kernel summary (spans, launches, flops,
+//                       bytes, roofline-modeled and measured wall time)
+//   --trace FILE        write a chrome://tracing JSON timeline of every
+//                       kernel launch and phase (open in chrome://tracing or
+//                       https://ui.perfetto.dev)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +28,7 @@
 #include <string>
 
 #include "cstf/framework.hpp"
+#include "simgpu/trace.hpp"
 #include "tensor/datasets.hpp"
 #include "tensor/io.hpp"
 
@@ -39,7 +45,8 @@ using namespace cstf;
                "                [--constraint nonneg|none|l1:W|l1nn:W|"
                "box:LO,HI|simplex|smooth:W]\n"
                "                [--device a100|h100|xeon] [--seed N]"
-               " [--output PREFIX]\n");
+               " [--output PREFIX]\n"
+               "                [--profile] [--trace FILE]\n");
   std::exit(2);
 }
 
@@ -96,7 +103,8 @@ void write_matrix(const Matrix& m, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string input, dataset, output, checkpoint;
+  std::string input, dataset, output, checkpoint, trace_path;
+  bool profile = false;
   FrameworkOptions options;
   options.rank = 16;
   options.max_iterations = 20;
@@ -119,6 +127,9 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") options.seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--output") output = value();
     else if (arg == "--checkpoint") checkpoint = value();
+    else if (arg == "--profile") profile = true;
+    else if (arg == "--trace") trace_path = value();
+    else if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
     else if (arg == "--help" || arg == "-h") usage(nullptr);
     else usage(("unknown argument: " + arg).c_str());
   }
@@ -136,6 +147,10 @@ int main(int argc, char** argv) {
                 options.device.name.c_str());
 
     CstfFramework framework(tensor, options);
+    simgpu::Tracer tracer;
+    if (profile || !trace_path.empty()) {
+      framework.device().set_tracer(&tracer);
+    }
     const AuntfResult result = framework.run();
     std::printf("\n%d iteration(s), final fit %.5f%s\n", result.iterations,
                 result.final_fit, result.converged ? " (converged)" : "");
@@ -145,6 +160,15 @@ int main(int argc, char** argv) {
     std::printf("phase breakdown (host wall time):\n");
     for (const auto& [phase, sec] : framework.driver().phases().totals()) {
       std::printf("  %-10s %9.4f s\n", phase.c_str(), sec);
+    }
+    if (profile) {
+      std::printf("\nper-kernel profile (modeled %s, measured host):\n%s",
+                  options.device.name.c_str(),
+                  tracer.summary_table().c_str());
+    }
+    if (!trace_path.empty()) {
+      tracer.write_chrome_trace(trace_path);
+      std::printf("trace written to %s\n", trace_path.c_str());
     }
 
     if (!output.empty()) {

@@ -1,0 +1,141 @@
+// cstf_json_check — validates bench telemetry JSON files.
+//
+//   cstf_json_check BENCH_a.json [BENCH_b.json ...]
+//
+// Each file must parse as JSON (simgpu::json::parse, the same strict parser
+// the tests use) and follow the bench schema from bench/bench_util.hpp:
+// a "bench" string, a "records" array, and — per record — dataset/machine
+// strings, a numeric rank, the four-phase "phases" object, and a
+// "total_modeled_s" that equals the sum of the per-phase modeled seconds.
+// Exits nonzero (listing every problem) when any file fails, so
+// scripts/run_benches.sh can gate on it.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "simgpu/trace.hpp"
+
+namespace {
+
+using cstf::simgpu::json::Value;
+
+const char* const kPhases[] = {"GRAM", "MTTKRP", "UPDATE", "NORMALIZE"};
+
+bool is_number(const Value* v) {
+  return v != nullptr && v->type == Value::Type::kNumber;
+}
+bool is_string(const Value* v) {
+  return v != nullptr && v->type == Value::Type::kString;
+}
+
+/// Appends schema problems for one parsed document to `errors`; returns the
+/// number found.
+int check_document(const Value& doc, std::string file, std::string* errors) {
+  int bad = 0;
+  auto fail = [&](const std::string& what) {
+    *errors += "  " + file + ": " + what + "\n";
+    ++bad;
+  };
+  if (doc.type != Value::Type::kObject) {
+    fail("top level is not an object");
+    return bad;
+  }
+  if (!is_string(doc.find("bench"))) fail("missing \"bench\" string");
+  const Value* records = doc.find("records");
+  if (records == nullptr || records->type != Value::Type::kArray) {
+    fail("missing \"records\" array");
+    return bad;
+  }
+  for (std::size_t i = 0; i < records->array.size(); ++i) {
+    const Value& r = records->array[i];
+    const std::string where = "record " + std::to_string(i);
+    if (r.type != Value::Type::kObject) {
+      fail(where + " is not an object");
+      continue;
+    }
+    if (!is_string(r.find("dataset"))) fail(where + ": missing dataset");
+    if (!is_string(r.find("machine"))) fail(where + ": missing machine");
+    if (!is_number(r.find("rank"))) fail(where + ": missing rank");
+    const Value* phases = r.find("phases");
+    const Value* total = r.find("total_modeled_s");
+    if (phases == nullptr || phases->type != Value::Type::kObject) {
+      fail(where + ": missing phases object");
+      continue;
+    }
+    double phase_sum = 0.0;
+    for (const char* name : kPhases) {
+      const Value* p = phases->find(name);
+      if (p == nullptr || !is_number(p->find("modeled_s")) ||
+          !is_number(p->find("wall_s"))) {
+        fail(where + ": phase " + name + " missing modeled_s/wall_s");
+        continue;
+      }
+      phase_sum += p->find("modeled_s")->num;
+    }
+    if (!is_number(total)) {
+      fail(where + ": missing total_modeled_s");
+    } else {
+      // The reported total must be exactly the sum of the phases (up to
+      // formatting round-trip noise).
+      const double tol = 1e-12 + 1e-9 * std::abs(phase_sum);
+      if (std::abs(total->num - phase_sum) > tol) {
+        std::ostringstream os;
+        os << where << ": total_modeled_s " << total->num
+           << " != phase sum " << phase_sum;
+        fail(os.str());
+      }
+    }
+    const Value* kernels = r.find("kernels");
+    if (kernels == nullptr || kernels->type != Value::Type::kArray) {
+      fail(where + ": missing kernels array");
+      continue;
+    }
+    for (std::size_t k = 0; k < kernels->array.size(); ++k) {
+      const Value& row = kernels->array[k];
+      if (!is_string(row.find("name")) || !is_number(row.find("flops")) ||
+          !is_number(row.find("bytes")) || !is_number(row.find("modeled_s"))) {
+        fail(where + ": kernel row " + std::to_string(k) + " malformed");
+      }
+    }
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: cstf_json_check FILE.json [FILE.json ...]\n");
+    return 2;
+  }
+  int bad_files = 0;
+  std::string errors;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in.good()) {
+      errors += "  " + path + ": cannot open\n";
+      ++bad_files;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      const Value doc = cstf::simgpu::json::parse(buf.str());
+      if (check_document(doc, path, &errors) > 0) ++bad_files;
+    } catch (const cstf::Error& e) {
+      errors += "  " + path + ": " + e.what() + "\n";
+      ++bad_files;
+    }
+  }
+  if (bad_files > 0) {
+    std::fprintf(stderr, "cstf_json_check: %d bad file(s):\n%s", bad_files,
+                 errors.c_str());
+    return 1;
+  }
+  std::printf("cstf_json_check: %d file(s) OK\n", argc - 1);
+  return 0;
+}
