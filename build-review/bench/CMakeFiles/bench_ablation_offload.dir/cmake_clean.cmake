@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_offload.dir/bench_ablation_offload.cpp.o"
+  "CMakeFiles/bench_ablation_offload.dir/bench_ablation_offload.cpp.o.d"
+  "bench_ablation_offload"
+  "bench_ablation_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

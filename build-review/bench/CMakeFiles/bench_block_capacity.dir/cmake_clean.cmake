@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_capacity.dir/bench_block_capacity.cpp.o"
+  "CMakeFiles/bench_block_capacity.dir/bench_block_capacity.cpp.o.d"
+  "bench_block_capacity"
+  "bench_block_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constraint_overhead.dir/bench_constraint_overhead.cpp.o"
+  "CMakeFiles/bench_constraint_overhead.dir/bench_constraint_overhead.cpp.o.d"
+  "bench_constraint_overhead"
+  "bench_constraint_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constraint_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq345_intensity.dir/bench_eq345_intensity.cpp.o"
+  "CMakeFiles/bench_eq345_intensity.dir/bench_eq345_intensity.cpp.o.d"
+  "bench_eq345_intensity"
+  "bench_eq345_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq345_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

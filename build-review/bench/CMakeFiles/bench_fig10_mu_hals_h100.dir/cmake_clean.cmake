@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mu_hals_h100.dir/bench_fig910_mu_hals.cpp.o"
+  "CMakeFiles/bench_fig10_mu_hals_h100.dir/bench_fig910_mu_hals.cpp.o.d"
+  "bench_fig10_mu_hals_h100"
+  "bench_fig10_mu_hals_h100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mu_hals_h100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cuadmm.dir/bench_fig4_cuadmm.cpp.o"
+  "CMakeFiles/bench_fig4_cuadmm.dir/bench_fig4_cuadmm.cpp.o.d"
+  "bench_fig4_cuadmm"
+  "bench_fig4_cuadmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cuadmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_scatter_h100.dir/bench_fig78_scatter.cpp.o"
+  "CMakeFiles/bench_fig8_scatter_h100.dir/bench_fig78_scatter.cpp.o.d"
+  "bench_fig8_scatter_h100"
+  "bench_fig8_scatter_h100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_scatter_h100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_wallclock.dir/bench_host_wallclock.cpp.o"
+  "CMakeFiles/bench_host_wallclock.dir/bench_host_wallclock.cpp.o.d"
+  "bench_host_wallclock"
+  "bench_host_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

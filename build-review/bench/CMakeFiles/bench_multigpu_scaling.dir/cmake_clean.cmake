@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multigpu_scaling.dir/bench_multigpu_scaling.cpp.o"
+  "CMakeFiles/bench_multigpu_scaling.dir/bench_multigpu_scaling.cpp.o.d"
+  "bench_multigpu_scaling"
+  "bench_multigpu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multigpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oom_streaming.dir/bench_oom_streaming.cpp.o"
+  "CMakeFiles/bench_oom_streaming.dir/bench_oom_streaming.cpp.o.d"
+  "bench_oom_streaming"
+  "bench_oom_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oom_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

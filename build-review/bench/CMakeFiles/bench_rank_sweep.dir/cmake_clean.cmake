@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rank_sweep.dir/bench_rank_sweep.cpp.o"
+  "CMakeFiles/bench_rank_sweep.dir/bench_rank_sweep.cpp.o.d"
+  "bench_rank_sweep"
+  "bench_rank_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rank_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

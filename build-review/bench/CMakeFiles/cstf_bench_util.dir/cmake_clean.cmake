@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/cstf_bench_util.dir/bench_util.cpp.o.d"
+  "libcstf_bench_util.a"
+  "libcstf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_data.dir/count_data.cpp.o"
+  "CMakeFiles/count_data.dir/count_data.cpp.o.d"
+  "count_data"
+  "count_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_anomaly.dir/network_anomaly.cpp.o"
+  "CMakeFiles/network_anomaly.dir/network_anomaly.cpp.o.d"
+  "network_anomaly"
+  "network_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

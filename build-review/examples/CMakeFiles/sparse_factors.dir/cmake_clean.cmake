@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_factors.dir/sparse_factors.cpp.o"
+  "CMakeFiles/sparse_factors.dir/sparse_factors.cpp.o.d"
+  "sparse_factors"
+  "sparse_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("parallel")
+subdirs("la")
+subdirs("simgpu")
+subdirs("tensor")
+subdirs("formats")
+subdirs("mttkrp")
+subdirs("updates")
+subdirs("cstf")
+subdirs("baselines")
+subdirs("perfmodel")
+subdirs("scheduler")
+subdirs("multigpu")
+subdirs("streaming")
+subdirs("gcp")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_baselines.dir/planc.cpp.o"
+  "CMakeFiles/cstf_baselines.dir/planc.cpp.o.d"
+  "CMakeFiles/cstf_baselines.dir/splatt.cpp.o"
+  "CMakeFiles/cstf_baselines.dir/splatt.cpp.o.d"
+  "libcstf_baselines.a"
+  "libcstf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcstf_baselines.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cpp" "src/common/CMakeFiles/cstf_common.dir/env.cpp.o" "gcc" "src/common/CMakeFiles/cstf_common.dir/env.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/cstf_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/cstf_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/radix_sort.cpp" "src/common/CMakeFiles/cstf_common.dir/radix_sort.cpp.o" "gcc" "src/common/CMakeFiles/cstf_common.dir/radix_sort.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/cstf_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/cstf_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "src/common/CMakeFiles/cstf_common.dir/timer.cpp.o" "gcc" "src/common/CMakeFiles/cstf_common.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

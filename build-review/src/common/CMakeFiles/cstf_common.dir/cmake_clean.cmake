@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_common.dir/env.cpp.o"
+  "CMakeFiles/cstf_common.dir/env.cpp.o.d"
+  "CMakeFiles/cstf_common.dir/log.cpp.o"
+  "CMakeFiles/cstf_common.dir/log.cpp.o.d"
+  "CMakeFiles/cstf_common.dir/radix_sort.cpp.o"
+  "CMakeFiles/cstf_common.dir/radix_sort.cpp.o.d"
+  "CMakeFiles/cstf_common.dir/random.cpp.o"
+  "CMakeFiles/cstf_common.dir/random.cpp.o.d"
+  "CMakeFiles/cstf_common.dir/timer.cpp.o"
+  "CMakeFiles/cstf_common.dir/timer.cpp.o.d"
+  "libcstf_common.a"
+  "libcstf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

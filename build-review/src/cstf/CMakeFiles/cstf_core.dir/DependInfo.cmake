@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cstf/auntf.cpp" "src/cstf/CMakeFiles/cstf_core.dir/auntf.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/auntf.cpp.o.d"
+  "/root/repo/src/cstf/backend.cpp" "src/cstf/CMakeFiles/cstf_core.dir/backend.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/backend.cpp.o.d"
+  "/root/repo/src/cstf/framework.cpp" "src/cstf/CMakeFiles/cstf_core.dir/framework.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/framework.cpp.o.d"
+  "/root/repo/src/cstf/ktensor.cpp" "src/cstf/CMakeFiles/cstf_core.dir/ktensor.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/ktensor.cpp.o.d"
+  "/root/repo/src/cstf/metrics.cpp" "src/cstf/CMakeFiles/cstf_core.dir/metrics.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/cstf/sampled_fit.cpp" "src/cstf/CMakeFiles/cstf_core.dir/sampled_fit.cpp.o" "gcc" "src/cstf/CMakeFiles/cstf_core.dir/sampled_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/updates/CMakeFiles/cstf_updates.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mttkrp/CMakeFiles/cstf_mttkrp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/formats/CMakeFiles/cstf_formats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/cstf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/simgpu/CMakeFiles/cstf_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/cstf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

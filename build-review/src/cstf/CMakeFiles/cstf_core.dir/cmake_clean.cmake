@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_core.dir/auntf.cpp.o"
+  "CMakeFiles/cstf_core.dir/auntf.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/backend.cpp.o"
+  "CMakeFiles/cstf_core.dir/backend.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/framework.cpp.o"
+  "CMakeFiles/cstf_core.dir/framework.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/ktensor.cpp.o"
+  "CMakeFiles/cstf_core.dir/ktensor.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/metrics.cpp.o"
+  "CMakeFiles/cstf_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/cstf_core.dir/sampled_fit.cpp.o"
+  "CMakeFiles/cstf_core.dir/sampled_fit.cpp.o.d"
+  "libcstf_core.a"
+  "libcstf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

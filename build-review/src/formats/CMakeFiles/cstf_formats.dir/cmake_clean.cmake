@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_formats.dir/alto.cpp.o"
+  "CMakeFiles/cstf_formats.dir/alto.cpp.o.d"
+  "CMakeFiles/cstf_formats.dir/bitpack.cpp.o"
+  "CMakeFiles/cstf_formats.dir/bitpack.cpp.o.d"
+  "CMakeFiles/cstf_formats.dir/blco.cpp.o"
+  "CMakeFiles/cstf_formats.dir/blco.cpp.o.d"
+  "CMakeFiles/cstf_formats.dir/csf.cpp.o"
+  "CMakeFiles/cstf_formats.dir/csf.cpp.o.d"
+  "CMakeFiles/cstf_formats.dir/linearize.cpp.o"
+  "CMakeFiles/cstf_formats.dir/linearize.cpp.o.d"
+  "libcstf_formats.a"
+  "libcstf_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_gcp.dir/poisson_ntf.cpp.o"
+  "CMakeFiles/cstf_gcp.dir/poisson_ntf.cpp.o.d"
+  "libcstf_gcp.a"
+  "libcstf_gcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_gcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/blas.cpp" "src/la/CMakeFiles/cstf_la.dir/blas.cpp.o" "gcc" "src/la/CMakeFiles/cstf_la.dir/blas.cpp.o.d"
+  "/root/repo/src/la/cholesky.cpp" "src/la/CMakeFiles/cstf_la.dir/cholesky.cpp.o" "gcc" "src/la/CMakeFiles/cstf_la.dir/cholesky.cpp.o.d"
+  "/root/repo/src/la/elementwise.cpp" "src/la/CMakeFiles/cstf_la.dir/elementwise.cpp.o" "gcc" "src/la/CMakeFiles/cstf_la.dir/elementwise.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/cstf_la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/cstf_la.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/cstf_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_la.dir/blas.cpp.o"
+  "CMakeFiles/cstf_la.dir/blas.cpp.o.d"
+  "CMakeFiles/cstf_la.dir/cholesky.cpp.o"
+  "CMakeFiles/cstf_la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/cstf_la.dir/elementwise.cpp.o"
+  "CMakeFiles/cstf_la.dir/elementwise.cpp.o.d"
+  "CMakeFiles/cstf_la.dir/matrix.cpp.o"
+  "CMakeFiles/cstf_la.dir/matrix.cpp.o.d"
+  "libcstf_la.a"
+  "libcstf_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

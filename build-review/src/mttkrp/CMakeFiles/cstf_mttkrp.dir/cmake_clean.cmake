@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_mttkrp.dir/alto_mttkrp.cpp.o"
+  "CMakeFiles/cstf_mttkrp.dir/alto_mttkrp.cpp.o.d"
+  "CMakeFiles/cstf_mttkrp.dir/blco_mttkrp.cpp.o"
+  "CMakeFiles/cstf_mttkrp.dir/blco_mttkrp.cpp.o.d"
+  "CMakeFiles/cstf_mttkrp.dir/coo_mttkrp.cpp.o"
+  "CMakeFiles/cstf_mttkrp.dir/coo_mttkrp.cpp.o.d"
+  "CMakeFiles/cstf_mttkrp.dir/csf_mttkrp.cpp.o"
+  "CMakeFiles/cstf_mttkrp.dir/csf_mttkrp.cpp.o.d"
+  "libcstf_mttkrp.a"
+  "libcstf_mttkrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_multigpu.dir/multi_gpu.cpp.o"
+  "CMakeFiles/cstf_multigpu.dir/multi_gpu.cpp.o.d"
+  "libcstf_multigpu.a"
+  "libcstf_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

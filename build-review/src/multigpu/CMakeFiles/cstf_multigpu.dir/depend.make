@@ -1,0 +1,2 @@
+# Empty dependencies file for cstf_multigpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/cstf_parallel.dir/thread_pool.cpp.o.d"
+  "libcstf_parallel.a"
+  "libcstf_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_perfmodel.dir/admm_model.cpp.o"
+  "CMakeFiles/cstf_perfmodel.dir/admm_model.cpp.o.d"
+  "libcstf_perfmodel.a"
+  "libcstf_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_scheduler.dir/placement.cpp.o"
+  "CMakeFiles/cstf_scheduler.dir/placement.cpp.o.d"
+  "libcstf_scheduler.a"
+  "libcstf_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

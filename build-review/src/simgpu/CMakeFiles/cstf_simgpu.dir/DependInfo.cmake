@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgpu/cost_model.cpp" "src/simgpu/CMakeFiles/cstf_simgpu.dir/cost_model.cpp.o" "gcc" "src/simgpu/CMakeFiles/cstf_simgpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simgpu/dblas.cpp" "src/simgpu/CMakeFiles/cstf_simgpu.dir/dblas.cpp.o" "gcc" "src/simgpu/CMakeFiles/cstf_simgpu.dir/dblas.cpp.o.d"
+  "/root/repo/src/simgpu/device.cpp" "src/simgpu/CMakeFiles/cstf_simgpu.dir/device.cpp.o" "gcc" "src/simgpu/CMakeFiles/cstf_simgpu.dir/device.cpp.o.d"
+  "/root/repo/src/simgpu/device_spec.cpp" "src/simgpu/CMakeFiles/cstf_simgpu.dir/device_spec.cpp.o" "gcc" "src/simgpu/CMakeFiles/cstf_simgpu.dir/device_spec.cpp.o.d"
+  "/root/repo/src/simgpu/trace.cpp" "src/simgpu/CMakeFiles/cstf_simgpu.dir/trace.cpp.o" "gcc" "src/simgpu/CMakeFiles/cstf_simgpu.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/cstf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

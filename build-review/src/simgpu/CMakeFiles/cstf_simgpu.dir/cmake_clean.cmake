@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_simgpu.dir/cost_model.cpp.o"
+  "CMakeFiles/cstf_simgpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cstf_simgpu.dir/dblas.cpp.o"
+  "CMakeFiles/cstf_simgpu.dir/dblas.cpp.o.d"
+  "CMakeFiles/cstf_simgpu.dir/device.cpp.o"
+  "CMakeFiles/cstf_simgpu.dir/device.cpp.o.d"
+  "CMakeFiles/cstf_simgpu.dir/device_spec.cpp.o"
+  "CMakeFiles/cstf_simgpu.dir/device_spec.cpp.o.d"
+  "CMakeFiles/cstf_simgpu.dir/trace.cpp.o"
+  "CMakeFiles/cstf_simgpu.dir/trace.cpp.o.d"
+  "libcstf_simgpu.a"
+  "libcstf_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

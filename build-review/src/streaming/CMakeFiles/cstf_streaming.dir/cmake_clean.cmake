@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_streaming.dir/streaming_cstf.cpp.o"
+  "CMakeFiles/cstf_streaming.dir/streaming_cstf.cpp.o.d"
+  "libcstf_streaming.a"
+  "libcstf_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/coo.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/coo.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/coo.cpp.o.d"
+  "/root/repo/src/tensor/datasets.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/datasets.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/datasets.cpp.o.d"
+  "/root/repo/src/tensor/dense.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/dense.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/dense.cpp.o.d"
+  "/root/repo/src/tensor/generate.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/generate.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/generate.cpp.o.d"
+  "/root/repo/src/tensor/io.cpp" "src/tensor/CMakeFiles/cstf_tensor.dir/io.cpp.o" "gcc" "src/tensor/CMakeFiles/cstf_tensor.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/cstf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

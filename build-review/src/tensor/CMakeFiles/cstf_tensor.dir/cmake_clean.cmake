@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_tensor.dir/coo.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/coo.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/datasets.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/datasets.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/dense.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/dense.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/generate.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/generate.cpp.o.d"
+  "CMakeFiles/cstf_tensor.dir/io.cpp.o"
+  "CMakeFiles/cstf_tensor.dir/io.cpp.o.d"
+  "libcstf_tensor.a"
+  "libcstf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

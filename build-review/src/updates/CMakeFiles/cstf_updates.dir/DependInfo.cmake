@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/updates/admm.cpp" "src/updates/CMakeFiles/cstf_updates.dir/admm.cpp.o" "gcc" "src/updates/CMakeFiles/cstf_updates.dir/admm.cpp.o.d"
+  "/root/repo/src/updates/admm_kernels.cpp" "src/updates/CMakeFiles/cstf_updates.dir/admm_kernels.cpp.o" "gcc" "src/updates/CMakeFiles/cstf_updates.dir/admm_kernels.cpp.o.d"
+  "/root/repo/src/updates/als.cpp" "src/updates/CMakeFiles/cstf_updates.dir/als.cpp.o" "gcc" "src/updates/CMakeFiles/cstf_updates.dir/als.cpp.o.d"
+  "/root/repo/src/updates/block_admm.cpp" "src/updates/CMakeFiles/cstf_updates.dir/block_admm.cpp.o" "gcc" "src/updates/CMakeFiles/cstf_updates.dir/block_admm.cpp.o.d"
+  "/root/repo/src/updates/bpp.cpp" "src/updates/CMakeFiles/cstf_updates.dir/bpp.cpp.o" "gcc" "src/updates/CMakeFiles/cstf_updates.dir/bpp.cpp.o.d"
+  "/root/repo/src/updates/hals.cpp" "src/updates/CMakeFiles/cstf_updates.dir/hals.cpp.o" "gcc" "src/updates/CMakeFiles/cstf_updates.dir/hals.cpp.o.d"
+  "/root/repo/src/updates/mu.cpp" "src/updates/CMakeFiles/cstf_updates.dir/mu.cpp.o" "gcc" "src/updates/CMakeFiles/cstf_updates.dir/mu.cpp.o.d"
+  "/root/repo/src/updates/prox.cpp" "src/updates/CMakeFiles/cstf_updates.dir/prox.cpp.o" "gcc" "src/updates/CMakeFiles/cstf_updates.dir/prox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/simgpu/CMakeFiles/cstf_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/cstf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_updates.dir/admm.cpp.o"
+  "CMakeFiles/cstf_updates.dir/admm.cpp.o.d"
+  "CMakeFiles/cstf_updates.dir/admm_kernels.cpp.o"
+  "CMakeFiles/cstf_updates.dir/admm_kernels.cpp.o.d"
+  "CMakeFiles/cstf_updates.dir/als.cpp.o"
+  "CMakeFiles/cstf_updates.dir/als.cpp.o.d"
+  "CMakeFiles/cstf_updates.dir/block_admm.cpp.o"
+  "CMakeFiles/cstf_updates.dir/block_admm.cpp.o.d"
+  "CMakeFiles/cstf_updates.dir/bpp.cpp.o"
+  "CMakeFiles/cstf_updates.dir/bpp.cpp.o.d"
+  "CMakeFiles/cstf_updates.dir/hals.cpp.o"
+  "CMakeFiles/cstf_updates.dir/hals.cpp.o.d"
+  "CMakeFiles/cstf_updates.dir/mu.cpp.o"
+  "CMakeFiles/cstf_updates.dir/mu.cpp.o.d"
+  "CMakeFiles/cstf_updates.dir/prox.cpp.o"
+  "CMakeFiles/cstf_updates.dir/prox.cpp.o.d"
+  "libcstf_updates.a"
+  "libcstf_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

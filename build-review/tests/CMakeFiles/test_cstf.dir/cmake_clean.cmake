@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cstf.dir/test_cstf.cpp.o"
+  "CMakeFiles/test_cstf.dir/test_cstf.cpp.o.d"
+  "test_cstf"
+  "test_cstf.pdb"
+  "test_cstf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cstf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcp.dir/test_gcp.cpp.o"
+  "CMakeFiles/test_gcp.dir/test_gcp.cpp.o.d"
+  "test_gcp"
+  "test_gcp.pdb"
+  "test_gcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mttkrp.dir/test_mttkrp.cpp.o"
+  "CMakeFiles/test_mttkrp.dir/test_mttkrp.cpp.o.d"
+  "test_mttkrp"
+  "test_mttkrp.pdb"
+  "test_mttkrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

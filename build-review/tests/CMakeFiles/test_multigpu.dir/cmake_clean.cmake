@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multigpu.dir/test_multigpu.cpp.o"
+  "CMakeFiles/test_multigpu.dir/test_multigpu.cpp.o.d"
+  "test_multigpu"
+  "test_multigpu.pdb"
+  "test_multigpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

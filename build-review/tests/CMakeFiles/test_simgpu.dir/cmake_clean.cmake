@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simgpu.dir/test_simgpu.cpp.o"
+  "CMakeFiles/test_simgpu.dir/test_simgpu.cpp.o.d"
+  "test_simgpu"
+  "test_simgpu.pdb"
+  "test_simgpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

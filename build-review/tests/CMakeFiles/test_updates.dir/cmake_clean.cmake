@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_updates.dir/test_updates.cpp.o"
+  "CMakeFiles/test_updates.dir/test_updates.cpp.o.d"
+  "test_updates"
+  "test_updates.pdb"
+  "test_updates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build-review/tests/test_la[1]_include.cmake")
+include("/root/repo/build-review/tests/test_simgpu[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build-review/tests/test_formats[1]_include.cmake")
+include("/root/repo/build-review/tests/test_mttkrp[1]_include.cmake")
+include("/root/repo/build-review/tests/test_updates[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cstf[1]_include.cmake")
+include("/root/repo/build-review/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build-review/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build-review/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build-review/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build-review/tests/test_multigpu[1]_include.cmake")
+include("/root/repo/build-review/tests/test_streaming[1]_include.cmake")
+include("/root/repo/build-review/tests/test_gcp[1]_include.cmake")
+include("/root/repo/build-review/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-review/tests/test_property_sweeps[1]_include.cmake")

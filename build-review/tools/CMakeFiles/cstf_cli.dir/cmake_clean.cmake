@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_cli.dir/cstf_cli.cpp.o"
+  "CMakeFiles/cstf_cli.dir/cstf_cli.cpp.o.d"
+  "cstf_cli"
+  "cstf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

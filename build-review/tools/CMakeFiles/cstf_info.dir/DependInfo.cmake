@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cstf_info.cpp" "tools/CMakeFiles/cstf_info.dir/cstf_info.cpp.o" "gcc" "tools/CMakeFiles/cstf_info.dir/cstf_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/formats/CMakeFiles/cstf_formats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/cstf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/la/CMakeFiles/cstf_la.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/cstf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/cstf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_info.dir/cstf_info.cpp.o"
+  "CMakeFiles/cstf_info.dir/cstf_info.cpp.o.d"
+  "cstf_info"
+  "cstf_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

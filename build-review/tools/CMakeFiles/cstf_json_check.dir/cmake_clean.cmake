@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstf_json_check.dir/cstf_json_check.cpp.o"
+  "CMakeFiles/cstf_json_check.dir/cstf_json_check.cpp.o.d"
+  "cstf_json_check"
+  "cstf_json_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstf_json_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

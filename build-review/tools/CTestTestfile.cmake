@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_analog "/root/repo/build-review/tools/cstf_cli" "--dataset" "Uber" "--rank" "4" "--iters" "3")
+set_tests_properties(cli_smoke_analog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_bpp_l1 "/root/repo/build-review/tools/cstf_cli" "--dataset" "NIPS" "--rank" "4" "--iters" "2" "--scheme" "cuadmm" "--constraint" "l1nn:0.1" "--device" "h100")
+set_tests_properties(cli_smoke_bpp_l1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_args "/root/repo/build-review/tools/cstf_cli" "--dataset" "NoSuchTensor")
+set_tests_properties(cli_rejects_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile_trace_smoke "/root/repo/build-review/tools/cstf_cli" "--dataset" "Uber" "--rank" "4" "--iters" "2" "--profile" "--trace=cli_smoke_trace.json")
+set_tests_properties(cli_profile_trace_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(info_smoke "/root/repo/build-review/tools/cstf_info" "--dataset" "Chicago")
+set_tests_properties(info_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
