@@ -27,24 +27,32 @@ int main() {
   const index_t rank = 32;
   std::printf("=== %s: end-to-end per-iteration speedup vs SPLATT (%s model, R=%lld) ===\n\n",
               fig, spec.name.c_str(), static_cast<long long>(rank));
-  std::printf("%-12s %14s %14s %10s\n", "Tensor", "SPLATT [s]",
-              (spec.name + " [s]").c_str(), "Speedup");
+  std::printf("%-12s %14s %14s %10s %14s %10s\n", "Tensor", "SPLATT [s]",
+              (spec.name + " [s]").c_str(), "Speedup", "GPU ovl [s]",
+              "ovl Spdup");
 
   std::vector<double> speedups;
+  std::vector<double> ovl_speedups;
   for (const auto& name : bench::dataset_names()) {
     const DatasetAnalog data = bench::load_dataset(name);
     const auto cpu = bench::splatt_iteration(data, rank);
-    const auto gpu = bench::gpu_iteration(data, spec, UpdateScheme::kCuAdmm, rank);
+    std::vector<bench::ModeledIteration> per_mode;
+    const auto gpu = bench::gpu_iteration(data, spec, UpdateScheme::kCuAdmm,
+                                          rank, &per_mode);
+    const double ovl = bench::overlapped_total(per_mode, spec);
     const double speedup = cpu.total() / gpu.total();
     speedups.push_back(speedup);
-    std::printf("%-12s %14.5f %14.5f %9.2fx\n", name.c_str(), cpu.total(),
-                gpu.total(), speedup);
+    ovl_speedups.push_back(cpu.total() / ovl);
+    std::printf("%-12s %14.5f %14.5f %9.2fx %14.5f %9.2fx\n", name.c_str(),
+                cpu.total(), gpu.total(), speedup, ovl,
+                ovl_speedups.back());
   }
-  std::printf("%-12s %14s %14s %9.2fx\n", "GeoMean", "", "",
-              bench::geomean(speedups));
+  std::printf("%-12s %14s %14s %9.2fx %14s %9.2fx\n", "GeoMean", "", "",
+              bench::geomean(speedups), "", bench::geomean(ovl_speedups));
   std::printf(
       "\nPaper reference: geomean 5.10x (max 41.59x) on A100; 7.01x\n"
       "(max 58.05x) on H100. Shape to verify: long-mode tensors gain most;\n"
-      "small tensors least.\n");
+      "small tensors least. \"GPU ovl\" pipelines each mode's Gram work\n"
+      "against its MTTKRP on a second stream — a small, free win on top.\n");
   return 0;
 }

@@ -16,8 +16,8 @@ int main() {
   const index_t rank = 32;
   std::printf("=== Multi-GPU MTTKRP scaling (A100 + NVLink ring, R=%lld) ===\n\n",
               static_cast<long long>(rank));
-  std::printf("%-12s %-6s %12s %12s %12s %12s\n", "Tensor", "Mode", "1 GPU [s]",
-              "2 GPUs", "4 GPUs", "8 GPUs");
+  std::printf("%-12s %-6s %12s %12s %12s %12s %12s %8s\n", "Tensor", "Mode",
+              "1 GPU [s]", "2 GPUs", "4 GPUs", "8 GPUs", "8 ovl", "chunks");
 
   for (const char* name : {"NIPS", "NELL2", "Delicious", "Amazon"}) {
     const DatasetAnalog data = bench::load_dataset(name);
@@ -45,13 +45,22 @@ int main() {
         } else {
           std::printf(" %10.2fx ", base / t);
         }
+        if (devices == 8) {
+          // Chunked comm/compute overlap: all-reduce pieces pipeline behind
+          // the remaining shard compute on a communication stream.
+          int chunks = 0;
+          const double ovl = engine.modeled_mttkrp_time_overlapped(
+              mode, rank, data.nnz_scale(), data.dim_scale(mode), 0, &chunks);
+          std::printf(" %10.2fx  %7d", base / ovl, chunks);
+        }
       }
       std::printf("\n");
     }
   }
   std::printf(
-      "\nColumns 2-4 are speedups over 1 GPU. Shape to verify: scaling\n"
-      "approaches the device count when shard compute dominates, and is\n"
-      "capped by the all-reduce of long-mode outputs.\n");
+      "\nColumns 2-4 are speedups over 1 GPU (serial: slowest shard +\n"
+      "all-reduce). \"8 ovl\" overlaps chunked all-reduce with compute on 8\n"
+      "GPUs — at least the serial 8-GPU speedup, and strictly better where\n"
+      "the all-reduce tail was exposed (long output modes).\n");
   return 0;
 }

@@ -19,8 +19,8 @@ int main() {
   const auto spec = simgpu::a100();
   std::printf("=== Out-of-memory streamed MTTKRP (A100 + PCIe staging, R=%lld) ===\n\n",
               static_cast<long long>(rank));
-  std::printf("%-12s %-16s %10s %14s\n", "Tensor", "Budget", "batches",
-              "mttkrp [ms]");
+  std::printf("%-12s %-16s %10s %14s %14s %14s\n", "Tensor", "Budget",
+              "batches", "mttkrp [ms]", "serial [ms]", "overlap [ms]");
 
   for (const char* name : {"Delicious", "Amazon"}) {
     const DatasetAnalog data = bench::load_dataset(name);
@@ -36,34 +36,44 @@ int main() {
     const char* labels[4] = {"resident", "1/2 tensor", "1/4 tensor",
                              "1/8 tensor"};
     const double budgets[4] = {2.0 * full, full / 2.0, full / 4.0, full / 8.0};
-    for (int i = 0; i < 4; ++i) {
-      simgpu::Device dev(spec);
+    // Per budget: the legacy within-span overlap model, the fully serial
+    // copy-then-compute sum, and the explicit copy-stream pipeline makespan.
+    const auto run_budget = [&](const simgpu::DeviceSpec& s, double budget,
+                                const char* label) {
+      simgpu::Device dev(s);
       Matrix out(data.tensor.dim(0), rank);
-      const index_t batches = mttkrp_blco_streamed(dev, blco, factors, 0, out,
-                                                   budgets[i]);
-      const double t =
+      const index_t batches =
+          mttkrp_blco_streamed(dev, blco, factors, 0, out, budget);
+      const double legacy =
           perfmodel::modeled_time_scaled(dev, data.nnz_scale()) * 1e3;
-      std::printf("%-12s %-16s %10lld %14.3f\n", name, labels[i],
-                  static_cast<long long>(batches), t);
-    }
+
+      simgpu::Device piped(s);
+      const simgpu::Stream copy = piped.create_stream("h2d_copy");
+      Matrix out2(data.tensor.dim(0), rank);
+      mttkrp_blco_streamed(piped, blco, factors, 0, out2, budget, copy);
+      const double serial =
+          perfmodel::modeled_time_scaled(piped, data.nnz_scale()) * 1e3;
+      const double overlap = piped.modeled_makespan_s(data.nnz_scale()) * 1e3;
+      std::printf("%-12s %-16s %10lld %14.3f %14.3f %14.3f\n", name, label,
+                  static_cast<long long>(batches), legacy,
+                  batches > 1 ? serial : legacy,
+                  batches > 1 ? overlap : legacy);
+    };
+    for (int i = 0; i < 4; ++i) run_budget(spec, budgets[i], labels[i]);
     // Degraded link (contended PCIe at 2 GB/s): where staging finally binds.
     {
       simgpu::DeviceSpec slow = spec;
       slow.host_link_bandwidth = 2e9;
-      simgpu::Device dev(slow);
-      Matrix out(data.tensor.dim(0), rank);
-      const index_t batches = mttkrp_blco_streamed(dev, blco, factors, 0, out,
-                                                   full / 8.0);
-      const double t =
-          perfmodel::modeled_time_scaled(dev, data.nnz_scale()) * 1e3;
-      std::printf("%-12s %-16s %10lld %14.3f\n", name, "1/8 + slow link",
-                  static_cast<long long>(batches), t);
+      run_budget(slow, full / 8.0, "1/8 + slow link");
     }
   }
   std::printf(
       "\nShape to verify (the BLCO substrate paper's headline): staging is\n"
       "fully hidden behind the gather-bound kernel at PCIe speeds — the\n"
       "streamed rows match the resident row. Only a badly degraded link\n"
-      "(last row) makes the host transfer the roof.\n");
+      "(last row) makes the host transfer the roof.\n"
+      "\"serial [ms]\" stages every batch before its compute with no overlap;\n"
+      "\"overlap [ms]\" is the double-buffered copy-stream pipeline makespan —\n"
+      "between the other two, converging to mttkrp [ms] when compute binds.\n");
   return 0;
 }

@@ -135,7 +135,8 @@ ModeledIteration modeled_iteration(const DatasetAnalog& data,
                                    const MttkrpBackend& backend,
                                    const UpdateMethod& update,
                                    const simgpu::DeviceSpec& spec,
-                                   index_t rank, ModeledIteration* wall) {
+                                   index_t rank, ModeledIteration* wall,
+                                   std::vector<ModeledIteration>* per_mode) {
   std::vector<double> mode_scales;
   for (int m = 0; m < backend.num_modes(); ++m) {
     mode_scales.push_back(data.dim_scale(m));
@@ -144,7 +145,28 @@ ModeledIteration modeled_iteration(const DatasetAnalog& data,
     JsonSession::current()->set_dataset_context(data.spec.name);
   }
   return modeled_iteration(backend, update, spec, rank, mode_scales,
-                           data.nnz_scale(), wall);
+                           data.nnz_scale(), wall, per_mode);
+}
+
+double overlapped_total(const std::vector<ModeledIteration>& per_mode,
+                        const simgpu::DeviceSpec& spec) {
+  // Fixed-span timeline: per mode, the Gram work runs on its own lane
+  // concurrently with the default-lane MTTKRP (both only need the previous
+  // mode's normalized factor), and the update joins the two. The phase times
+  // are already scaled, so the spans carry them as externally modeled
+  // durations.
+  simgpu::Device dev(spec);
+  const simgpu::Stream gram = dev.create_stream("gram");
+  for (const ModeledIteration& m : per_mode) {
+    // Gram_n starts once the default lane has retired Normalize_{n-1}.
+    dev.wait_event(gram, dev.record_event());
+    dev.record_fixed("gram", m.gram, gram);
+    dev.record_fixed("mttkrp", m.mttkrp);
+    dev.wait_event(simgpu::Stream{}, dev.record_event(gram));
+    dev.record_fixed("update", m.update);
+    dev.record_fixed("normalize", m.normalize);
+  }
+  return dev.modeled_makespan_s();
 }
 
 ModeledIteration modeled_iteration(const MttkrpBackend& backend,
@@ -284,11 +306,13 @@ ModeledIteration modeled_iteration(const MttkrpBackend& backend,
 
 ModeledIteration gpu_iteration(const DatasetAnalog& data,
                                const simgpu::DeviceSpec& gpu_spec,
-                               UpdateScheme scheme, index_t rank) {
+                               UpdateScheme scheme, index_t rank,
+                               std::vector<ModeledIteration>* per_mode) {
   BlcoBackend backend(data.tensor);
   auto update = CstfFramework::make_update(scheme, Proximity::non_negative(),
                                            /*admm_inner_iterations=*/10);
-  return modeled_iteration(data, backend, *update, gpu_spec, rank);
+  return modeled_iteration(data, backend, *update, gpu_spec, rank,
+                           /*wall=*/nullptr, per_mode);
 }
 
 ModeledIteration splatt_iteration(const DatasetAnalog& data, index_t rank) {

@@ -80,12 +80,23 @@ ModeledIteration modeled_iteration(const DatasetAnalog& data,
                                    const UpdateMethod& update,
                                    const simgpu::DeviceSpec& spec,
                                    index_t rank,
-                                   ModeledIteration* wall = nullptr);
+                                   ModeledIteration* wall = nullptr,
+                                   std::vector<ModeledIteration>* per_mode = nullptr);
+
+/// Modeled iteration time when each mode's Gram work is pipelined against
+/// its MTTKRP on a second stream (the AuntfOptions::pipeline_streams
+/// schedule): Gram_n and MTTKRP_n both depend only on Normalize_{n-1}, the
+/// update joins them. Built from the already-scaled per-mode phase times on
+/// a stream timeline of fixed spans; always within
+/// [max-per-mode-path, serial total].
+double overlapped_total(const std::vector<ModeledIteration>& per_mode,
+                        const simgpu::DeviceSpec& spec);
 
 /// Convenience bundles for the three systems the figures compare.
 ModeledIteration gpu_iteration(const DatasetAnalog& data,
                                const simgpu::DeviceSpec& gpu_spec,
-                               UpdateScheme scheme, index_t rank);
+                               UpdateScheme scheme, index_t rank,
+                               std::vector<ModeledIteration>* per_mode = nullptr);
 ModeledIteration splatt_iteration(const DatasetAnalog& data, index_t rank);
 ModeledIteration planc_sparse_iteration(const DatasetAnalog& data,
                                         UpdateScheme scheme, index_t rank);

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 gate: builds and runs the full test suite twice — a plain
+# RelWithDebInfo build, then an ASan+UBSan build (-DCSTF_SANITIZE=ON). Any
+# compile error, test failure, or sanitizer report fails the script.
+#
+# Knobs (env vars): CSTF_CHECK_SKIP_SANITIZE=1 skips the second pass (useful
+# on toolchains without sanitizer runtimes), CSTF_THREADS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== pass 1/2: plain build + ctest"
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [ "${CSTF_CHECK_SKIP_SANITIZE:-0}" = "1" ]; then
+  echo "=== pass 2/2 skipped (CSTF_CHECK_SKIP_SANITIZE=1)"
+  exit 0
+fi
+
+echo "=== pass 2/2: ASan+UBSan build + ctest"
+cmake -B build-asan -S . -DCSTF_SANITIZE=ON
+cmake --build build-asan -j
+# halt_on_error makes UBSan reports fail the test run instead of just logging.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan --output-on-failure -j
+
+echo
+echo "All checks passed (plain + sanitized)."

@@ -16,7 +16,7 @@ namespace {
 
 /// S = Hadamard over m != mode of grams[m]; an R^2 device kernel.
 void hadamard_of_grams(simgpu::Device& dev, const std::vector<Matrix>& grams,
-                       int mode, Matrix& s) {
+                       int mode, Matrix& s, simgpu::Stream stream = {}) {
   const index_t r = s.rows();
   s.set_all(1.0);
   simgpu::KernelStats stats;
@@ -24,7 +24,7 @@ void hadamard_of_grams(simgpu::Device& dev, const std::vector<Matrix>& grams,
   stats.bytes_streamed = static_cast<double>(r * r) * simgpu::kWord *
                          static_cast<double>(grams.size() + 1);
   stats.parallel_items = static_cast<double>(r * r);
-  dev.record("gram_hadamard", stats);
+  dev.record("gram_hadamard", stats, 0.0, stream);
   for (int m = 0; m < static_cast<int>(grams.size()); ++m) {
     if (m == mode) continue;
     la::hadamard_inplace(s, grams[static_cast<std::size_t>(m)]);
@@ -85,6 +85,10 @@ void Auntf::initialize() {
   phases_.clear();
   modeled_phase_.clear();
   dev_.reset();
+  if (options_.pipeline_streams && !gram_stream_created_) {
+    gram_stream_ = dev_.create_stream("gram");
+    gram_stream_created_ = true;
+  }
   initialized_ = true;
 }
 
@@ -107,13 +111,20 @@ real_t Auntf::iterate() {
     modeled_mark = now;
   };
 
+  // With pipeline_streams, the R^2 Gram work of mode n runs on its own
+  // stream concurrently with mode n's default-stream MTTKRP (both only need
+  // the factors as of Normalize_{n-1}); events join the two before the
+  // update, and the next mode's Gram work waits for the normalize it reads.
+  const bool pipe = options_.pipeline_streams;
+  const simgpu::Stream gram_stream = pipe ? gram_stream_ : simgpu::Stream{};
+
   for (int n = 0; n < modes; ++n) {
     Matrix& h = factors_[static_cast<std::size_t>(n)];
 
     {
       auto t = phases_.scope(phase::kGram);
       simgpu::ScopedPhase tp(dev_.tracer(), phase::kGram);
-      hadamard_of_grams(dev_, grams_, n, s);
+      hadamard_of_grams(dev_, grams_, n, s, gram_stream);
     }
     close_phase(phase::kGram);
 
@@ -128,6 +139,10 @@ real_t Auntf::iterate() {
     {
       auto t = phases_.scope(phase::kUpdate);
       simgpu::ScopedPhase tp(dev_.tracer(), phase::kUpdate);
+      if (pipe) {
+        // The update consumes S (gram stream) and M (default stream).
+        dev_.wait_event(simgpu::Stream{}, dev_.record_event(gram_stream));
+      }
       updates_[static_cast<std::size_t>(n)]->update(
           dev_, s, m_out, h, states_[static_cast<std::size_t>(n)]);
     }
@@ -151,7 +166,13 @@ real_t Auntf::iterate() {
     {
       auto t = phases_.scope(phase::kGram);
       simgpu::ScopedPhase tp(dev_.tracer(), phase::kGram);
-      simgpu::dsyrk_gram(dev_, h, grams_[static_cast<std::size_t>(n)]);
+      if (pipe) {
+        // The Gram recompute reads the just-normalized factor; once ordered
+        // after it, the recompute overlaps the next mode's MTTKRP.
+        dev_.wait_event(gram_stream, dev_.record_event(simgpu::Stream{}));
+      }
+      simgpu::dsyrk_gram(dev_, h, grams_[static_cast<std::size_t>(n)],
+                         gram_stream);
     }
     close_phase(phase::kGram);
   }
@@ -163,6 +184,10 @@ real_t Auntf::iterate() {
 real_t Auntf::compute_fit(const Matrix& last_m,
                           const Matrix& gram_unnormalized) {
   simgpu::ScopedPhase tp(dev_.tracer(), "FIT");
+  if (options_.pipeline_streams) {
+    // Fit reads the cached Grams last written on the gram stream.
+    dev_.wait_event(simgpu::Stream{}, dev_.record_event(gram_stream_));
+  }
   const int modes = backend_.num_modes();
   const index_t rank = options_.rank;
   const int last = modes - 1;

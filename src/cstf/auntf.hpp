@@ -22,6 +22,7 @@
 #include "common/timer.hpp"
 #include "cstf/backend.hpp"
 #include "cstf/ktensor.hpp"
+#include "simgpu/stream.hpp"
 #include "updates/update_method.hpp"
 
 namespace cstf {
@@ -39,6 +40,13 @@ struct AuntfOptions {
   /// Compute the model fit each outer iteration (adds one inner-product and
   /// a few R^2 kernels; benchmarking runs that only time phases disable it).
   bool compute_fit = true;
+
+  /// Issue the R^2 Gram work (Hadamard product and the post-update Gram
+  /// recompute) on its own stream so it is modeled concurrently with the
+  /// default-stream MTTKRP of the same mode, with events joining both before
+  /// the factor update (Gram_n and MTTKRP_n only depend on Normalize_{n-1}).
+  /// Functional results are unchanged — only the modeled timeline overlaps.
+  bool pipeline_streams = false;
 };
 
 struct AuntfResult {
@@ -107,6 +115,8 @@ class Auntf {
 
   PhaseTimer phases_;
   std::map<std::string, double> modeled_phase_;
+  simgpu::Stream gram_stream_{};  // created lazily when pipeline_streams
+  bool gram_stream_created_ = false;
   bool initialized_ = false;
 };
 

@@ -48,6 +48,7 @@ CstfFramework::CstfFramework(const SparseTensor& tensor,
   auntf.fit_tolerance = options_.fit_tolerance;
   auntf.compute_fit = options_.compute_fit;
   auntf.seed = options_.seed;
+  auntf.pipeline_streams = options_.pipeline_streams;
   driver_ = std::make_unique<Auntf>(device_, backend_, *update_, auntf);
 }
 

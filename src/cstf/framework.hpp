@@ -55,6 +55,10 @@ struct FrameworkOptions {
 
   /// BLCO block capacity (nonzeros per device block).
   index_t blco_block_capacity = 4096;
+
+  /// Model per-mode Gram work concurrently with MTTKRP on a second stream
+  /// (see AuntfOptions::pipeline_streams). Off by default: serial modeling.
+  bool pipeline_streams = false;
 };
 
 /// End-to-end constrained sparse tensor factorization on the simulated GPU.

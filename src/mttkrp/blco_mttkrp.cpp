@@ -126,7 +126,8 @@ void mttkrp_blco(simgpu::Device& dev, const BlcoTensor& blco,
 
 index_t mttkrp_blco_streamed(simgpu::Device& dev, const BlcoTensor& blco,
                              const std::vector<Matrix>& factors, int mode,
-                             Matrix& out, double device_budget_bytes) {
+                             Matrix& out, double device_budget_bytes,
+                             simgpu::Stream copy_stream) {
   CSTF_CHECK(device_budget_bytes > 0.0);
   check_mttkrp_args(blco, factors, mode, out);
   const double tensor_bytes = blco.storage_bytes();
@@ -141,14 +142,15 @@ index_t mttkrp_blco_streamed(simgpu::Device& dev, const BlcoTensor& blco,
   batches = std::min(batches, blco.num_blocks());
   const index_t per_batch = (blco.num_blocks() + batches - 1) / batches;
 
+  const bool staged_async = !copy_stream.is_default();
   const simgpu::KernelStats full_stats =
       blco_mttkrp_stats(blco, factors, mode);
+  std::vector<simgpu::Event> compute_done;  // per batch, for buffer reuse
   index_t used = 0;
   for (index_t lo = 0; lo < blco.num_blocks(); lo += per_batch) {
     const index_t grid = std::min<index_t>(per_batch, blco.num_blocks() - lo);
-    // Pro-rate the full-tensor traffic over this batch's nonzero share and
-    // add the host-link staging of the batch's compressed bytes. The cost
-    // model overlaps staging with compute (double buffering).
+    // Pro-rate the full-tensor traffic over this batch's nonzero share; the
+    // batch's compressed bytes are what crosses the host link.
     double batch_nnz = 0.0, batch_bytes = 0.0;
     for (index_t b = lo; b < lo + grid; ++b) {
       const BlcoBlock& blk = blco.block(b);
@@ -159,9 +161,27 @@ index_t mttkrp_blco_streamed(simgpu::Device& dev, const BlcoTensor& blco,
     }
     simgpu::KernelStats stats =
         prorate(full_stats, batch_nnz / static_cast<double>(blco.nnz()));
-    stats.host_link_bytes = batch_bytes;
+    if (staged_async) {
+      // Explicit pipeline: the staging transfer is its own span on the copy
+      // stream. Two staging buffers — batch i's transfer reuses the buffer
+      // compute of batch i-2 read from, so it waits on that compute.
+      if (used >= 2) {
+        dev.wait_event(copy_stream,
+                       compute_done[static_cast<std::size_t>(used - 2)]);
+      }
+      simgpu::KernelStats stage;
+      stage.host_link_bytes = batch_bytes;
+      stage.launches = 1;
+      dev.record("mttkrp_stage_batch", stage, 0.0, copy_stream);
+      dev.wait_event(simgpu::Stream{}, dev.record_event(copy_stream));
+    } else {
+      // Legacy single-span modeling: staging rides on the compute record and
+      // the cost model overlaps the two inside the span (double buffering).
+      stats.host_link_bytes = batch_bytes;
+    }
     launch_blco_range(dev, "mttkrp_blco_streamed", blco, factors, mode, out,
                       lo, grid, stats);
+    if (staged_async) compute_done.push_back(dev.record_event());
     ++used;
   }
   return used;

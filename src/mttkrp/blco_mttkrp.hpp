@@ -31,12 +31,22 @@ simgpu::KernelStats blco_mttkrp_stats(const BlcoTensor& blco,
 /// when the tensor exceeds `device_budget_bytes` of device memory (after the
 /// resident factors), its blocks are processed in batches staged over the
 /// host link, double-buffered so staging overlaps compute. Results are
-/// identical to `mttkrp_blco`; the metered record adds the staging traffic,
-/// and the per-batch time is modeled as max(compute, transfer).
+/// identical to `mttkrp_blco`.
+///
+/// Two ways to model the staging:
+///  * default `copy_stream` — each batch's compute span carries its own
+///    host_link_bytes, and the cost model overlaps the two within the span
+///    (the pre-stream behavior, unchanged);
+///  * an explicit `copy_stream` — staging becomes its own spans on that
+///    stream, with events expressing the two-buffer pipeline (compute of
+///    batch i waits its staging; staging of batch i reuses the buffer of
+///    batch i-2, so it waits that compute), and Device::modeled_time_s()
+///    reports the pipeline's critical path.
 ///
 /// Returns the number of batches used (1 == fully resident, no staging).
 index_t mttkrp_blco_streamed(simgpu::Device& dev, const BlcoTensor& blco,
                              const std::vector<Matrix>& factors, int mode,
-                             Matrix& out, double device_budget_bytes);
+                             Matrix& out, double device_budget_bytes,
+                             simgpu::Stream copy_stream = {});
 
 }  // namespace cstf

@@ -65,6 +65,20 @@ class MultiGpuCstf {
   double modeled_mttkrp_time(int mode, index_t rank, double nnz_scale,
                              double dim_scale) const;
 
+  /// Overlapped variant (the AMPED-style schedule): each shard's MTTKRP is
+  /// split into `chunks` pieces on its own stream, and the all-reduce of
+  /// chunk i runs on a communication stream as soon as every device has
+  /// finished its chunk i — so communication hides behind the remaining
+  /// compute. Modeled on a stream timeline with event edges; `chunks == 0`
+  /// picks the chunk count with the smallest makespan (chunking shrinks the
+  /// exposed all-reduce tail but multiplies its latency steps, so more is
+  /// not always better). Chunk count 1 degenerates to the serial
+  /// modeled_mttkrp_time exactly, hence the result never exceeds it.
+  double modeled_mttkrp_time_overlapped(int mode, index_t rank,
+                                        double nnz_scale, double dim_scale,
+                                        int chunks = 0,
+                                        int* chunks_used = nullptr) const;
+
   /// Per-device meters (index by device id).
   simgpu::Device& device(int d) { return *devices_[static_cast<std::size_t>(d)]; }
 

@@ -14,7 +14,7 @@ double matrix_bytes(const Matrix& m) {
 
 void dgemm(Device& dev, la::Op op_a, la::Op op_b, real_t alpha,
            const Matrix& a, const Matrix& b, real_t beta,
-           Matrix& c) {
+           Matrix& c, Stream stream) {
   const double m = static_cast<double>(c.rows());
   const double n = static_cast<double>(c.cols());
   const double k = static_cast<double>(la::op_cols(a, op_a));
@@ -38,10 +38,11 @@ void dgemm(Device& dev, la::Op op_a, la::Op op_b, real_t alpha,
   stats.launches = 1;
   Timer wall;
   la::gemm(op_a, op_b, alpha, a, b, beta, c);
-  dev.record("dgemm", stats, wall.seconds());
+  dev.record("dgemm", stats, wall.seconds(), stream);
 }
 
-void dsyrk_gram(Device& dev, const Matrix& a, Matrix& s) {
+void dsyrk_gram(Device& dev, const Matrix& a, Matrix& s,
+                Stream stream) {
   const double n = static_cast<double>(a.rows());
   const double r = static_cast<double>(a.cols());
   KernelStats stats;
@@ -51,11 +52,11 @@ void dsyrk_gram(Device& dev, const Matrix& a, Matrix& s) {
   stats.launches = 1;
   Timer wall;
   la::gram(a, s);
-  dev.record("dsyrk", stats, wall.seconds());
+  dev.record("dsyrk", stats, wall.seconds(), stream);
 }
 
 void dgeam(Device& dev, real_t alpha, const Matrix& a, real_t beta,
-           const Matrix& b, Matrix& c) {
+           const Matrix& b, Matrix& c, Stream stream) {
   KernelStats stats;
   const double n = static_cast<double>(a.size());
   stats.flops = 3.0 * n;  // two scales + one add
@@ -64,10 +65,10 @@ void dgeam(Device& dev, real_t alpha, const Matrix& a, real_t beta,
   stats.launches = 1;
   Timer wall;
   la::geam(la::Op::kNone, la::Op::kNone, alpha, a, beta, b, c);
-  dev.record("dgeam", stats, wall.seconds());
+  dev.record("dgeam", stats, wall.seconds(), stream);
 }
 
-void dpotrf(Device& dev, const Matrix& s, Matrix& l) {
+void dpotrf(Device& dev, const Matrix& s, Matrix& l, Stream stream) {
   const double r = static_cast<double>(s.rows());
   KernelStats stats;
   stats.flops = r * r * r / 3.0;
@@ -79,10 +80,10 @@ void dpotrf(Device& dev, const Matrix& s, Matrix& l) {
   stats.launches = 1;
   Timer wall;
   la::cholesky_factor(s, l);
-  dev.record("dpotrf", stats, wall.seconds());
+  dev.record("dpotrf", stats, wall.seconds(), stream);
 }
 
-void dpotrs(Device& dev, const Matrix& l, Matrix& b) {
+void dpotrs(Device& dev, const Matrix& l, Matrix& b, Stream stream) {
   const double r = static_cast<double>(l.rows());
   const double cols = static_cast<double>(b.cols());
   KernelStats stats;
@@ -97,10 +98,11 @@ void dpotrs(Device& dev, const Matrix& l, Matrix& b) {
   stats.launches = 2;
   Timer wall;
   la::cholesky_solve(l, b);
-  dev.record("dpotrs", stats, wall.seconds());
+  dev.record("dpotrs", stats, wall.seconds(), stream);
 }
 
-void dpotrs_right(Device& dev, const Matrix& l, Matrix& b) {
+void dpotrs_right(Device& dev, const Matrix& l, Matrix& b,
+                  Stream stream) {
   const double r = static_cast<double>(l.rows());
   const double rows = static_cast<double>(b.rows());
   KernelStats stats;
@@ -117,10 +119,11 @@ void dpotrs_right(Device& dev, const Matrix& l, Matrix& b) {
   stats.compute_efficiency = 0.15;
   Timer wall;
   la::cholesky_solve_right(l, b);
-  dev.record("dpotrs_right", stats, wall.seconds());
+  dev.record("dpotrs_right", stats, wall.seconds(), stream);
 }
 
-void dpotri(Device& dev, const Matrix& l, Matrix& inverse) {
+void dpotri(Device& dev, const Matrix& l, Matrix& inverse,
+            Stream stream) {
   const double r = static_cast<double>(l.rows());
   KernelStats stats;
   stats.flops = 2.0 * r * r * r;
@@ -130,10 +133,10 @@ void dpotri(Device& dev, const Matrix& l, Matrix& inverse) {
   stats.launches = 1;
   Timer wall;
   la::cholesky_invert(l, inverse);
-  dev.record("dpotri", stats, wall.seconds());
+  dev.record("dpotri", stats, wall.seconds(), stream);
 }
 
-real_t dnrm2_sq(Device& dev, const Matrix& a) {
+real_t dnrm2_sq(Device& dev, const Matrix& a, Stream stream) {
   KernelStats stats;
   const double n = static_cast<double>(a.size());
   stats.flops = 2.0 * n;
@@ -142,7 +145,7 @@ real_t dnrm2_sq(Device& dev, const Matrix& a) {
   stats.launches = 1;
   Timer wall;
   const real_t result = la::frobenius_norm_sq(a);
-  dev.record("dnrm2", stats, wall.seconds());
+  dev.record("dnrm2", stats, wall.seconds(), stream);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "simgpu/cost_model.hpp"
 #include "simgpu/counters.hpp"
 #include "simgpu/device_spec.hpp"
+#include "simgpu/stream.hpp"
 #include "simgpu/trace.hpp"
 
 namespace cstf::simgpu {
@@ -18,25 +19,66 @@ namespace cstf::simgpu {
 /// A Device is also the unit of comparison: benches run the same algorithm
 /// once, recording into an A100 Device, an H100 Device, and a Xeon Device,
 /// and report the modeled-time ratios (plus host wall time, which is real).
+///
+/// Work is issued to streams (see stream.hpp): every record lands on the
+/// default stream unless the caller passes an explicit one, and once any
+/// span has been issued off the default stream, modeled_time_s() switches
+/// from the legacy serial per-kernel sum to the timeline's critical-path
+/// makespan. A device that only ever sees default-stream work models
+/// identically to the pre-stream implementation.
 class Device {
  public:
   explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {}
 
   const DeviceSpec& spec() const { return spec_; }
 
-  /// Records one launch (or a batch) under `kernel_name`. `wall_s` is the
-  /// measured host execution time of the launch when the caller timed it
-  /// (simgpu::launch and the dblas wrappers do); it feeds the attached
-  /// tracer's spans and does not affect the counter totals.
+  /// Records one launch (or a batch) under `kernel_name` on `stream` (the
+  /// default stream unless given). `wall_s` is the measured host execution
+  /// time of the launch when the caller timed it (simgpu::launch and the
+  /// dblas wrappers do); it feeds the attached tracer's spans and does not
+  /// affect the counter totals.
   void record(const std::string& kernel_name, const KernelStats& stats,
-              double wall_s = 0.0) {
+              double wall_s = 0.0, Stream stream = {}) {
     per_kernel_[kernel_name] += stats;
     total_ += stats;
+    const std::int64_t idx = timeline_.add_span(stream, kernel_name, stats);
     if (tracer_ != nullptr) {
       tracer_->add_span(kernel_name, stats, wall_s,
-                        model_time(stats, spec_).total_s);
+                        model_time(stats, spec_).total_s, stream.id(), idx,
+                        timeline_.span(idx).deps);
     }
   }
+
+  /// Records a span whose modeled duration comes from an external model
+  /// (e.g. multi-GPU interconnect time, which is not a device kernel). The
+  /// span participates in timeline scheduling but not in the per-kernel
+  /// counters; it is never rescaled.
+  void record_fixed(const std::string& name, double modeled_s,
+                    Stream stream = {}) {
+    const std::int64_t idx = timeline_.add_fixed_span(stream, name, modeled_s);
+    if (tracer_ != nullptr) {
+      tracer_->add_span(name, KernelStats{}, 0.0, modeled_s, stream.id(), idx,
+                        timeline_.span(idx).deps);
+    }
+  }
+
+  /// Creates a named stream on this device's timeline. Handles stay valid
+  /// across reset() (like CUDA streams surviving between iterations).
+  Stream create_stream(const std::string& name) {
+    return timeline_.create_stream(name);
+  }
+
+  /// Captures "everything issued to `stream` so far" as an event.
+  Event record_event(Stream stream = {}) const {
+    return timeline_.record_event(stream);
+  }
+
+  /// Makes the next span issued to `stream` start no earlier than `event`.
+  void wait_event(Stream stream, const Event& event) {
+    timeline_.wait_event(stream, event);
+  }
+
+  const Timeline& timeline() const { return timeline_; }
 
   /// Attaches (or detaches, with nullptr) a span tracer. The tracer must
   /// outlive the device or be detached first; it is not owned and survives
@@ -51,14 +93,31 @@ class Device {
   }
 
   /// Modeled execution time of everything recorded since the last reset.
-  /// Per-kernel modeling (not one aggregate) so each kernel's own working
-  /// set and parallelism shape its time.
+  /// Serial (default-stream-only) history: per-kernel modeling (not one
+  /// aggregate) so each kernel's own working set and parallelism shape its
+  /// time — identical to the pre-stream implementation. Once any span has
+  /// been issued to a non-default stream, the timeline's critical-path
+  /// makespan (with shared-bandwidth capping) is reported instead.
   double modeled_time_s() const {
+    if (timeline_.concurrent()) return timeline_.makespan_s(spec_);
+    return serial_modeled_time_s();
+  }
+
+  /// The legacy serial sum, regardless of stream usage — the "no overlap"
+  /// baseline benches compare the makespan against.
+  double serial_modeled_time_s() const {
     double t = 0.0;
     for (const auto& [name, stats] : per_kernel_) {
       t += model_time(stats, spec_).total_s;
     }
     return t;
+  }
+
+  /// The timeline makespan with every metered span's extensive quantities
+  /// scaled by `extensive_scale` (the stream/overlap analog of
+  /// perfmodel::modeled_time_scaled). Fixed-duration spans are not rescaled.
+  double modeled_makespan_s(double extensive_scale = 1.0) const {
+    return timeline_.makespan_s(spec_, extensive_scale);
   }
 
   /// Modeled time of a single named kernel's accumulated record.
@@ -68,15 +127,19 @@ class Device {
     return model_time(it->second, spec_).total_s;
   }
 
+  /// Clears counters and timeline spans; created streams and the attached
+  /// tracer survive, so handles stay usable across metering windows.
   void reset() {
     per_kernel_.clear();
     total_ = KernelStats{};
+    timeline_.reset();
   }
 
  private:
   DeviceSpec spec_;
   KernelStats total_;
   std::map<std::string, KernelStats> per_kernel_;
+  Timeline timeline_;
   Tracer* tracer_ = nullptr;  // not owned; optional
 };
 

@@ -20,6 +20,7 @@
 //    zeroed at block start.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/error.hpp"
@@ -31,11 +32,14 @@
 namespace cstf::simgpu {
 
 /// Launch geometry (1-D grid and block; the kernels in this library all
-/// linearize their index spaces).
+/// linearize their index spaces), plus the stream the launch is issued to —
+/// the fourth launch-config parameter, as in CUDA's <<<grid, block, shmem,
+/// stream>>>. The stream affects only the modeled timeline, never execution.
 struct LaunchConfig {
   index_t grid_dim = 1;
   index_t block_dim = 1;
   index_t shmem_reals = 0;
+  Stream stream{};
 };
 
 /// Per-thread execution context handed to the kernel body.
@@ -63,19 +67,25 @@ void launch(Device& device, const std::string& kernel_name, LaunchConfig cfg,
   }
 
   Timer wall;
+  const auto shmem = static_cast<std::size_t>(cfg.shmem_reals);
   parallel_for(0, cfg.grid_dim, [&](index_t block) {
-    std::vector<real_t> shared(static_cast<std::size_t>(cfg.shmem_reals), 0.0);
+    // Per-worker scratch reused across every block this worker runs; only the
+    // zero-fill is per-block. (A fresh vector per block costs a heap
+    // round-trip per block per launch on shmem kernels.)
+    thread_local std::vector<real_t> shared;
+    if (shared.size() < shmem) shared.resize(shmem);
+    std::fill_n(shared.begin(), shmem, real_t{0});
     KernelCtx ctx;
     ctx.block_idx = block;
     ctx.block_dim = cfg.block_dim;
     ctx.grid_dim = cfg.grid_dim;
-    ctx.shared = shared.data();
+    ctx.shared = shmem > 0 ? shared.data() : nullptr;
     for (index_t t = 0; t < cfg.block_dim; ++t) {
       ctx.thread_idx = t;
       body(ctx);
     }
   }, /*grain=*/1);
-  device.record(kernel_name, stats, wall.seconds());
+  device.record(kernel_name, stats, wall.seconds(), cfg.stream);
 }
 
 /// Grid-stride helper: number of blocks covering `n` items with `block_dim`

@@ -49,7 +49,8 @@ void Tracer::end_phase() {
 }
 
 void Tracer::add_span(const std::string& kernel, const KernelStats& stats,
-                      double wall_s, double modeled_s) {
+                      double wall_s, double modeled_s, int stream,
+                      std::int64_t seq, const std::vector<std::int64_t>& deps) {
   std::lock_guard<std::mutex> lock(mu_);
   TraceSpan span;
   span.kernel = kernel;
@@ -59,6 +60,9 @@ void Tracer::add_span(const std::string& kernel, const KernelStats& stats,
   span.wall_s = wall_s;
   span.modeled_s = modeled_s;
   span.stats = stats;
+  span.stream = stream;
+  span.seq = seq;
+  span.deps = deps;
   spans_.push_back(std::move(span));
 }
 
@@ -173,20 +177,47 @@ std::string Tracer::chrome_trace_json() const {
        << ",\"ts\":" << json::number(p.start_s * 1e6)
        << ",\"dur\":" << json::number(p.wall_s * 1e6) << '}';
   }
+  // Spans by device-timeline index, for resolving dependency edges to their
+  // source span's lane and end time.
+  std::map<std::int64_t, const TraceSpan*> by_seq;
+  for (const TraceSpan& s : spans) {
+    if (s.seq >= 0) by_seq[s.seq] = &s;
+  }
+  const auto dur_of = [](const TraceSpan& s) {
+    return s.wall_s > 0.0 ? s.wall_s : s.modeled_s;
+  };
+  std::int64_t flow_id = 0;
   for (const TraceSpan& s : spans) {
     if (!first) os << ',';
     first = false;
-    const double dur_s = s.wall_s > 0.0 ? s.wall_s : s.modeled_s;
+    // Stream lanes: default stream on tid 1 (unchanged from before streams
+    // existed), stream k on tid 1 + k; phases keep tid 0.
+    const double dur_s = dur_of(s);
     os << "{\"name\":\"" << json::escape(s.kernel)
-       << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"pid\":1,\"tid\":1"
+       << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"pid\":1,\"tid\":" << 1 + s.stream
        << ",\"ts\":" << json::number(s.start_s * 1e6)
        << ",\"dur\":" << json::number(dur_s * 1e6) << ",\"args\":{"
        << "\"phase\":\"" << json::escape(s.phase) << '"'
+       << ",\"stream\":" << s.stream
        << ",\"flops\":" << json::number(s.stats.flops)
        << ",\"bytes\":" << json::number(s.stats.total_bytes())
        << ",\"launches\":" << s.stats.launches
        << ",\"modeled_s\":" << json::number(s.modeled_s)
        << ",\"wall_s\":" << json::number(s.wall_s) << "}}";
+    // One flow arrow per event-dependency edge: "s" at the end of the source
+    // span, "f" (binding to the enclosing slice) at the start of this span.
+    for (const std::int64_t dep : s.deps) {
+      const auto it = by_seq.find(dep);
+      if (it == by_seq.end()) continue;
+      const TraceSpan& src = *it->second;
+      os << ",{\"name\":\"event\",\"cat\":\"dep\",\"ph\":\"s\",\"pid\":1"
+         << ",\"tid\":" << 1 + src.stream << ",\"id\":" << flow_id
+         << ",\"ts\":" << json::number((src.start_s + dur_of(src)) * 1e6) << '}'
+         << ",{\"name\":\"event\",\"cat\":\"dep\",\"ph\":\"f\",\"bp\":\"e\""
+         << ",\"pid\":1,\"tid\":" << 1 + s.stream << ",\"id\":" << flow_id
+         << ",\"ts\":" << json::number(s.start_s * 1e6) << '}';
+      ++flow_id;
+    }
   }
   os << "]}";
   return os.str();

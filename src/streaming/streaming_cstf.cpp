@@ -84,6 +84,9 @@ StreamingCstf::StreamingCstf(std::vector<index_t> nontemporal_dims,
     q_accum_.emplace_back(rank, rank);
   }
   states_.assign(dims_.size(), ModeState{});
+  if (options_.model_staging) {
+    copy_stream_ = device_.create_stream("slice_copy");
+  }
 }
 
 std::vector<real_t> StreamingCstf::ingest(const SparseTensor& slice) {
@@ -96,6 +99,22 @@ std::vector<real_t> StreamingCstf::ingest(const SparseTensor& slice) {
                    "slice mode " << m << " dimension mismatch");
   }
   const index_t rank = options_.rank;
+
+  if (options_.model_staging) {
+    // --- 0. Stage the arriving slice over the host link on the copy
+    // stream, double-buffered: this slice's transfer lands in the buffer
+    // slice t-2 computed from, so it waits on that compute, and all of this
+    // slice's compute waits on the transfer. In steady state the transfer
+    // hides behind the previous slice's ADMM work.
+    device_.wait_event(copy_stream_, prev_prev_done_);
+    simgpu::KernelStats stage;
+    stage.host_link_bytes =
+        static_cast<double>(slice.nnz()) *
+        (static_cast<double>(modes) * sizeof(index_t) + sizeof(real_t));
+    stage.launches = 1;
+    device_.record("stream_stage_slice", stage, 0.0, copy_stream_);
+    device_.wait_event(simgpu::Stream{}, device_.record_event(copy_stream_));
+  }
 
   // --- 1. Temporal row: c_r = sum_nnz x * prod_m H^m(i_m, r), then a
   // rank-sized constrained LS against S = Hadamard of all Grams.
@@ -185,6 +204,11 @@ std::vector<real_t> StreamingCstf::ingest(const SparseTensor& slice) {
 
     factor_update_.update(device_, q, p, factors_[mi], states_[mi]);
     la::gram(factors_[mi], grams_[mi]);
+  }
+
+  if (options_.model_staging) {
+    prev_prev_done_ = prev_done_;
+    prev_done_ = device_.record_event();
   }
 
   // --- 3. Append the temporal row.

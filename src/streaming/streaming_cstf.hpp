@@ -38,6 +38,12 @@ struct StreamingOptions {
   Proximity prox = Proximity::non_negative();
   std::uint64_t seed = 42;
   simgpu::DeviceSpec device = simgpu::a100();
+
+  /// Model the host->device staging of each arriving slice as spans on a
+  /// copy stream, double-buffered against the previous slice's ADMM compute
+  /// (staging of slice t reuses the buffer slice t-2 computed from). Off by
+  /// default: staging is not modeled, matching the pre-stream behavior.
+  bool model_staging = false;
 };
 
 class StreamingCstf {
@@ -85,6 +91,12 @@ class StreamingCstf {
   std::vector<ModeState> states_;
   std::vector<std::vector<real_t>> temporal_rows_;
   real_t last_residual_ = 0.0;
+
+  // Staging pipeline state (model_staging): the copy stream and the compute
+  // completion events of the two most recent slices (two staging buffers).
+  simgpu::Stream copy_stream_{};
+  simgpu::Event prev_done_;
+  simgpu::Event prev_prev_done_;
 };
 
 }  // namespace cstf

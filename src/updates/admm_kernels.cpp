@@ -10,10 +10,11 @@ namespace {
 
 constexpr index_t kBlockDim = 256;
 
-simgpu::LaunchConfig config_for(index_t n) {
+simgpu::LaunchConfig config_for(index_t n, simgpu::Stream stream = {}) {
   return simgpu::LaunchConfig{.grid_dim = simgpu::blocks_for(n, kBlockDim, 2048),
                               .block_dim = kBlockDim,
-                              .shmem_reals = 4};
+                              .shmem_reals = 4,
+                              .stream = stream};
 }
 
 simgpu::KernelStats elementwise_stats(index_t n, double reads, double writes,
@@ -30,7 +31,7 @@ simgpu::KernelStats elementwise_stats(index_t n, double reads, double writes,
 
 void kernel_compute_auxiliary(simgpu::Device& dev, const Matrix& m,
                               const Matrix& h, const Matrix& u, real_t rho,
-                              Matrix& t) {
+                              Matrix& t, simgpu::Stream stream) {
   CSTF_CHECK(m.same_shape(h) && m.same_shape(u) && m.same_shape(t));
   CSTF_CHECK_MSG(rho > 0.0, "kernel_compute_auxiliary requires rho > 0, got "
                                 << rho);
@@ -39,7 +40,7 @@ void kernel_compute_auxiliary(simgpu::Device& dev, const Matrix& m,
   const real_t* ph = h.data();
   const real_t* pu = u.data();
   real_t* pt = t.data();
-  simgpu::launch(dev, "admm_compute_auxiliary", config_for(n),
+  simgpu::launch(dev, "admm_compute_auxiliary", config_for(n, stream),
                  elementwise_stats(n, 3, 1, 3),
                  [&](const simgpu::KernelCtx& ctx) {
     for (index_t i = ctx.global_thread_id(); i < n; i += ctx.total_threads()) {
@@ -50,7 +51,8 @@ void kernel_compute_auxiliary(simgpu::Device& dev, const Matrix& m,
 
 void kernel_apply_proximity(simgpu::Device& dev, const Proximity& prox,
                             real_t rho, const Matrix& t, const Matrix& u,
-                            Matrix& h, real_t* delta_h_sq) {
+                            Matrix& h, real_t* delta_h_sq,
+                            simgpu::Stream stream) {
   CSTF_CHECK(prox.elementwise());
   CSTF_CHECK(t.same_shape(u) && t.same_shape(h));
   // The degenerate-rho clamp lives in AdmmUpdate::update; a silent fallback
@@ -64,7 +66,7 @@ void kernel_apply_proximity(simgpu::Device& dev, const Proximity& prox,
   const real_t inv_rho = 1.0 / rho;
   *delta_h_sq = 0.0;
   real_t* out_sq = delta_h_sq;
-  simgpu::launch(dev, "admm_apply_proximity", config_for(n),
+  simgpu::launch(dev, "admm_apply_proximity", config_for(n, stream),
                  elementwise_stats(n, 3, 1, 4),
                  [&](const simgpu::KernelCtx& ctx) {
     if (ctx.thread_idx == 0) ctx.shared[0] = 0.0;
@@ -85,7 +87,7 @@ void kernel_apply_proximity(simgpu::Device& dev, const Proximity& prox,
 
 void kernel_dual_update(simgpu::Device& dev, const Matrix& h, const Matrix& t,
                         Matrix& u, real_t* primal_sq, real_t* h_sq,
-                        real_t* u_sq) {
+                        real_t* u_sq, simgpu::Stream stream) {
   CSTF_CHECK(h.same_shape(t) && h.same_shape(u));
   const index_t n = h.size();
   const real_t* ph = h.data();
@@ -97,7 +99,7 @@ void kernel_dual_update(simgpu::Device& dev, const Matrix& h, const Matrix& t,
   real_t* out_primal = primal_sq;
   real_t* out_h = h_sq;
   real_t* out_u = u_sq;
-  simgpu::launch(dev, "admm_dual_update", config_for(n),
+  simgpu::launch(dev, "admm_dual_update", config_for(n, stream),
                  elementwise_stats(n, 3, 1, 8),
                  [&](const simgpu::KernelCtx& ctx) {
     if (ctx.thread_idx == 0) {

@@ -12,6 +12,7 @@
 
 #include "la/matrix.hpp"
 #include "simgpu/device.hpp"
+#include "simgpu/stream.hpp"
 #include "updates/prox.hpp"
 
 namespace cstf {
@@ -19,19 +20,20 @@ namespace cstf {
 /// T = M + rho * (H + U), fused.
 void kernel_compute_auxiliary(simgpu::Device& dev, const Matrix& m,
                               const Matrix& h, const Matrix& u, real_t rho,
-                              Matrix& t);
+                              Matrix& t, simgpu::Stream stream = {});
 
 /// H = prox(T - U), fused with the dual-residual accumulation
 /// ||H_new - H_old||^2 (old H read in place before being overwritten).
 /// Requires an elementwise prox; the caller handles the L2-ball fallback.
 void kernel_apply_proximity(simgpu::Device& dev, const Proximity& prox,
                             real_t rho, const Matrix& t, const Matrix& u,
-                            Matrix& h, real_t* delta_h_sq);
+                            Matrix& h, real_t* delta_h_sq,
+                            simgpu::Stream stream = {});
 
 /// U += H - T, fused with the residual reductions: primal ||H - T||^2,
 /// ||H||^2, and ||U||^2 (post-update).
 void kernel_dual_update(simgpu::Device& dev, const Matrix& h, const Matrix& t,
                         Matrix& u, real_t* primal_sq, real_t* h_sq,
-                        real_t* u_sq);
+                        real_t* u_sq, simgpu::Stream stream = {});
 
 }  // namespace cstf

@@ -209,6 +209,43 @@ TEST(Mttkrp, StreamedDegeneratesToResidentWhenItFits) {
   EXPECT_EQ(dev.per_kernel().count("mttkrp_blco_streamed"), 0u);
 }
 
+TEST(Mttkrp, StreamedCopyStreamPipelineMatchesAndOverlaps) {
+  // Passing an explicit copy stream changes only the time model: results are
+  // bit-identical, staging traffic moves onto dedicated stage spans, and the
+  // double-buffered makespan lands in [compute-only, copy-then-compute sum].
+  SparseTensor t = random_tensor({80, 70, 60}, 6000, 61);
+  const auto factors = random_factors(t, 16, 62);
+  const BlcoTensor blco(t, 256);
+
+  simgpu::Device legacy(simgpu::a100());
+  Matrix want(t.dim(0), 16);
+  const index_t batches = mttkrp_blco_streamed(legacy, blco, factors, 0, want,
+                                               blco.storage_bytes() / 4.0);
+  ASSERT_GE(batches, 4);
+
+  simgpu::Device piped(simgpu::a100());
+  const simgpu::Stream copy = piped.create_stream("h2d_copy");
+  Matrix got(t.dim(0), 16);
+  const index_t batches2 = mttkrp_blco_streamed(
+      piped, blco, factors, 0, got, blco.storage_bytes() / 4.0, copy);
+  EXPECT_EQ(batches2, batches);
+  EXPECT_LT(max_abs_diff(got, want), 1e-15);
+
+  // All staged bytes land on the stage spans, none on the compute kernel.
+  const auto& stage = piped.per_kernel().at("mttkrp_stage_batch");
+  const auto& legacy_stats = legacy.per_kernel().at("mttkrp_blco_streamed");
+  EXPECT_NEAR(stage.host_link_bytes, legacy_stats.host_link_bytes, 1.0);
+  EXPECT_DOUBLE_EQ(
+      piped.per_kernel().at("mttkrp_blco_streamed").host_link_bytes, 0.0);
+
+  const double serial = piped.serial_modeled_time_s();
+  const double overlap = piped.modeled_makespan_s();
+  const double compute_only =
+      piped.modeled_kernel_time_s("mttkrp_blco_streamed");
+  EXPECT_LE(overlap, serial * (1.0 + 1e-12));
+  EXPECT_GE(overlap, compute_only * (1.0 - 1e-12));
+}
+
 TEST(Mttkrp, StreamedChargesHostLinkTraffic) {
   SparseTensor t = random_tensor({60, 60, 60}, 5000, 55);
   const auto factors = random_factors(t, 16, 56);

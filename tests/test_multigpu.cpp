@@ -2,8 +2,11 @@
 // all-reduce cost model, and scaling behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "multigpu/multi_gpu.hpp"
 #include "mttkrp/coo_mttkrp.hpp"
+#include "perfmodel/admm_model.hpp"
 #include "tensor/generate.hpp"
 
 namespace cstf {
@@ -42,6 +45,23 @@ TEST(AllReduce, RingFormula) {
   opt.interconnect_latency = 1e-6;
   // 2 * 3/4 * 1e9 / 100e9 + 6 * 1e-6.
   EXPECT_NEAR(allreduce_time(opt, 1e9), 0.015 + 6e-6, 1e-12);
+}
+
+TEST(AllReduce, RingFormulaHandComputedAcrossRanks) {
+  // 2*(ranks-1)/ranks of the payload crosses each link, plus 2*(ranks-1)
+  // latency steps; a single rank has nothing to reduce.
+  MultiGpuOptions opt;
+  opt.interconnect_bandwidth = 200e9;
+  opt.interconnect_latency = 2e-6;
+  const double bytes = 4e8;
+  for (int ranks : {1, 2, 4, 8}) {
+    opt.num_devices = ranks;
+    const double want =
+        ranks == 1 ? 0.0
+                   : 2.0 * (ranks - 1) / ranks * bytes / 200e9 +
+                         2.0 * (ranks - 1) * 2e-6;
+    EXPECT_DOUBLE_EQ(allreduce_time(opt, bytes), want) << "ranks=" << ranks;
+  }
 }
 
 TEST(AllReduce, GrowsWithPayloadAndRanks) {
@@ -121,6 +141,55 @@ TEST(MultiGpu, AllReduceLimitsScalingOnSmallWork) {
   // The all-reduce of the (scaled) 80e4 x 8 output dominates at 1 GB/s.
   const double reduce_only = allreduce_time(opt, 80.0 * 1e4 * 8.0 * 8.0);
   EXPECT_GT(with_slow_link, 0.9 * reduce_only);
+}
+
+TEST(MultiGpu, OverlappedWithOneChunkEqualsSerialModel) {
+  const SparseTensor t = random_tensor(10, 8000);
+  const auto factors = random_factors(t, 16, 11);
+  MultiGpuOptions opt;
+  opt.num_devices = 4;
+  MultiGpuCstf engine(t, opt);
+  Matrix out(t.dim(0), 16);
+  engine.mttkrp(factors, 0, out);
+  const double serial = engine.modeled_mttkrp_time(0, 16, 10.0, 10.0);
+  int used = 0;
+  const double one_chunk =
+      engine.modeled_mttkrp_time_overlapped(0, 16, 10.0, 10.0, 1, &used);
+  EXPECT_EQ(used, 1);
+  EXPECT_DOUBLE_EQ(one_chunk, serial);  // C=1 degenerates to the serial model
+}
+
+TEST(MultiGpu, OverlappedBoundedBySerialAndSlowestShard) {
+  // A slow interconnect with a long output mode exposes the all-reduce tail;
+  // the chunked overlap must land strictly between the roofline lower bound
+  // (the slowest shard's compute, which can never be hidden) and the serial
+  // slowest-shard-plus-all-reduce model.
+  const SparseTensor t = random_tensor(8, 20000);
+  const auto factors = random_factors(t, 32, 9);
+  MultiGpuOptions opt;
+  opt.num_devices = 8;
+  opt.interconnect_bandwidth = 5e9;
+  MultiGpuCstf engine(t, opt);
+  Matrix out(t.dim(0), 32);
+  engine.mttkrp(factors, 0, out);
+  // Scales chosen so shard compute and all-reduce are the same order of
+  // magnitude — the regime where chunked pipelining pays.
+  const double nnz_scale = 2e4, dim_scale = 1e3;
+  const double serial = engine.modeled_mttkrp_time(0, 32, nnz_scale, dim_scale);
+  int chunks = 0;
+  const double ovl = engine.modeled_mttkrp_time_overlapped(
+      0, 32, nnz_scale, dim_scale, 0, &chunks);
+  EXPECT_GE(chunks, 1);
+  EXPECT_LE(ovl, serial * (1.0 + 1e-12));
+  double slowest = 0.0;
+  for (int d = 0; d < engine.num_devices(); ++d) {
+    slowest = std::max(
+        slowest, perfmodel::modeled_time_scaled(engine.device(d), nnz_scale));
+  }
+  EXPECT_GE(ovl, slowest * (1.0 - 1e-12));
+  // The exposed tail here is large, so chunking must strictly help.
+  EXPECT_LT(ovl, serial);
+  EXPECT_GT(chunks, 1);
 }
 
 TEST(MultiGpu, RejectsMoreDevicesThanNonzeros) {

@@ -2,6 +2,7 @@
 // device BLAS.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -293,6 +294,143 @@ TEST(DeviceBlas, Dnrm2MatchesHostNorm) {
   Matrix a = Matrix::from_rows({{3, 4}});
   EXPECT_DOUBLE_EQ(simgpu::dnrm2_sq(dev, a), 25.0);
   EXPECT_EQ(dev.per_kernel().count("dnrm2"), 1u);
+}
+
+// --- streams and the modeled timeline ---------------------------------------
+
+TEST(Stream, DefaultStreamOnlyModelsAsLegacySerialSum) {
+  // No explicit streams anywhere: the timeline never goes concurrent and
+  // modeled_time_s() is exactly the pre-stream per-kernel-aggregate sum.
+  Device dev(simgpu::a100());
+  KernelStats a;
+  a.bytes_streamed = 1e8;
+  a.parallel_items = 1e9;
+  dev.record("a", a);
+  KernelStats b;
+  b.flops = 1e10;
+  b.parallel_items = 1e9;
+  dev.record("b", b);
+  simgpu::launch(dev, "c", LaunchConfig{.grid_dim = 2, .block_dim = 32}, a,
+                 [](const KernelCtx&) {});
+  EXPECT_FALSE(dev.timeline().concurrent());
+  EXPECT_DOUBLE_EQ(dev.modeled_time_s(), dev.serial_modeled_time_s());
+}
+
+TEST(Stream, TwoStreamPipelineMakespanIsHandComputed) {
+  // Classic double-buffered copy/compute pipeline with fixed durations:
+  //   copy:    copy0 [0,2]  copy1 [2,4]
+  //   default: compute0 waits copy0 -> [2,5]; compute1 waits copy1 -> [5,8]
+  // Serial sum is 10 s; the pipelined makespan must be exactly 8 s.
+  Device dev(simgpu::a100());
+  const simgpu::Stream copy = dev.create_stream("copy");
+  dev.record_fixed("copy0", 2.0, copy);
+  const simgpu::Event e0 = dev.record_event(copy);
+  dev.record_fixed("copy1", 2.0, copy);
+  const simgpu::Event e1 = dev.record_event(copy);
+  dev.wait_event(simgpu::Stream{}, e0);
+  dev.record_fixed("compute0", 3.0);
+  dev.wait_event(simgpu::Stream{}, e1);
+  dev.record_fixed("compute1", 3.0);
+  EXPECT_TRUE(dev.timeline().concurrent());
+  EXPECT_DOUBLE_EQ(dev.modeled_time_s(), 8.0);
+}
+
+TEST(Stream, EventOrdersConsumerAfterProducer) {
+  Device dev(simgpu::a100());
+  dev.record_fixed("produce", 1.0);
+  const simgpu::Event done = dev.record_event();
+  const simgpu::Stream s = dev.create_stream("consumer");
+  dev.wait_event(s, done);
+  dev.record_fixed("consume", 1.0, s);
+  EXPECT_DOUBLE_EQ(dev.modeled_time_s(), 2.0);  // serialized by the event
+}
+
+TEST(Stream, UnrecordedEventWaitIsNoOp) {
+  Device dev(simgpu::a100());
+  const simgpu::Stream s = dev.create_stream("other");
+  simgpu::Event never;
+  EXPECT_FALSE(never.recorded());
+  dev.wait_event(s, never);
+  dev.record_fixed("a", 1.0);
+  dev.record_fixed("b", 1.0, s);
+  EXPECT_DOUBLE_EQ(dev.modeled_time_s(), 1.0);  // fully overlapped
+}
+
+TEST(Stream, BandwidthBoundSpansCannotOverlapBeyondRoofline) {
+  // Two memory-bound kernels on two streams share one memory system: the
+  // makespan is clamped to their summed memory busy time — identical to
+  // running them back to back.
+  Device dev(simgpu::a100());
+  KernelStats stats;
+  stats.bytes_streamed = 1e9;
+  stats.parallel_items = 1e9;
+  const simgpu::Stream s = dev.create_stream("second");
+  dev.record("mem_a", stats);
+  dev.record("mem_b", stats, 0.0, s);
+  const double one = simgpu::model_time(stats, dev.spec()).memory_s;
+  EXPECT_NEAR(dev.modeled_time_s(), 2.0 * one, 1e-12);
+  EXPECT_NEAR(dev.modeled_time_s(), dev.serial_modeled_time_s(),
+              1e-9 * dev.serial_modeled_time_s());
+}
+
+TEST(Stream, ComputeHidesBehindHostLinkTransfer) {
+  // A flop-bound kernel and a host-link transfer use different resources, so
+  // they genuinely overlap: makespan ~ max, strictly below the serial sum.
+  Device dev(simgpu::a100());
+  KernelStats compute;
+  compute.flops = 1e12;
+  compute.parallel_items = 1e9;
+  KernelStats copy;
+  copy.host_link_bytes = 1e9;
+  copy.parallel_items = 1.0;
+  const simgpu::Stream h2d = dev.create_stream("h2d");
+  dev.record("compute", compute);
+  dev.record("copy", copy, 0.0, h2d);
+  const double t_compute = simgpu::model_time(compute, dev.spec()).total_s;
+  const double t_copy = simgpu::model_time(copy, dev.spec()).total_s;
+  EXPECT_GE(dev.modeled_time_s(), std::max(t_compute, t_copy) * (1 - 1e-12));
+  EXPECT_LT(dev.modeled_time_s(), 0.99 * dev.serial_modeled_time_s());
+}
+
+TEST(Stream, LaunchConfigRoutesSpanToStream) {
+  // The stream is the fourth launch-config parameter, as in CUDA.
+  Device dev(simgpu::a100());
+  const simgpu::Stream io = dev.create_stream("io");
+  simgpu::launch(dev, "on_stream",
+                 LaunchConfig{.grid_dim = 1, .block_dim = 1, .stream = io},
+                 KernelStats{}, [](const KernelCtx&) {});
+  ASSERT_EQ(dev.timeline().span_count(), 1u);
+  EXPECT_EQ(dev.timeline().span(0).stream, io.id());
+  EXPECT_TRUE(dev.timeline().concurrent());
+}
+
+TEST(Stream, ResetKeepsStreamHandlesUsable) {
+  Device dev(simgpu::a100());
+  const simgpu::Stream s = dev.create_stream("kept");
+  dev.record_fixed("x", 1.0, s);
+  EXPECT_TRUE(dev.timeline().concurrent());
+  dev.reset();
+  EXPECT_FALSE(dev.timeline().concurrent());
+  EXPECT_EQ(dev.timeline().span_count(), 0u);
+  EXPECT_EQ(dev.timeline().num_streams(), 2);
+  EXPECT_EQ(dev.timeline().stream_name(s.id()), "kept");
+  dev.record_fixed("y", 1.0, s);  // the old handle still targets its lane
+  EXPECT_DOUBLE_EQ(dev.modeled_time_s(), 1.0);
+}
+
+TEST(Stream, MakespanScalesExtensiveQuantities) {
+  // modeled_makespan_s(k) is the stream analog of modeled_time_scaled: a
+  // bandwidth-bound span's time grows by k; fixed spans do not.
+  Device dev(simgpu::a100());
+  KernelStats stats;
+  stats.bytes_streamed = 1e9;
+  stats.parallel_items = 1e9;
+  dev.record("mem", stats, 0.0, dev.create_stream("lane"));
+  const double base = dev.modeled_makespan_s();
+  EXPECT_NEAR(dev.modeled_makespan_s(10.0), 10.0 * base, 1e-9 * base);
+  Device fixed(simgpu::a100());
+  fixed.record_fixed("ext", 2.0, fixed.create_stream("lane"));
+  EXPECT_DOUBLE_EQ(fixed.modeled_makespan_s(10.0), 2.0);
 }
 
 }  // namespace

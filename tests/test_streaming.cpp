@@ -72,6 +72,33 @@ TEST(Streaming, FactorsStayNonNegative) {
   EXPECT_TRUE(Proximity::non_negative().is_feasible(t, 1e-9));
 }
 
+TEST(Streaming, ModelStagingIsBitIdenticalAndOverlapBounded) {
+  // model_staging only adds copy-stream spans to the time model: the
+  // factorization itself is unchanged, and the double-buffered makespan
+  // never exceeds the serial copy-then-compute sum.
+  StreamScenario scenario = make_scenario(14, 11, 6, 2, 8);
+  StreamingOptions opt;
+  opt.rank = 3;
+  StreamingCstf plain({14, 11}, opt);
+  opt.model_staging = true;
+  StreamingCstf staged({14, 11}, opt);
+  for (const auto& slice : scenario.slices) {
+    const auto a = plain.ingest(slice);
+    const auto b = staged.ingest(slice);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) EXPECT_DOUBLE_EQ(a[r], b[r]);
+  }
+  for (std::size_t m = 0; m < plain.factors().size(); ++m) {
+    EXPECT_DOUBLE_EQ(max_abs_diff(plain.factors()[m], staged.factors()[m]),
+                     0.0);
+  }
+  EXPECT_FALSE(plain.device().timeline().concurrent());
+  EXPECT_TRUE(staged.device().timeline().concurrent());
+  EXPECT_GT(staged.device().per_kernel().count("stream_stage_slice"), 0u);
+  EXPECT_LE(staged.device().modeled_time_s(),
+            staged.device().serial_modeled_time_s() * (1.0 + 1e-9));
+}
+
 TEST(Streaming, ConvergesToGoodFitOnStationaryData) {
   // Repeat the stream a few epochs (standard warm-up for streaming CP with
   // random initialization); with mu = 1 the accumulators approach the batch

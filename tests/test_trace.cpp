@@ -206,6 +206,65 @@ TEST(Tracer, ChromeTraceJsonIsValidAndComplete) {
   EXPECT_EQ(kernels, 2);
 }
 
+TEST(Tracer, ChromeTraceHasStreamLanesAndFlowArrows) {
+  // Kernel spans are laid out one lane per stream (tid = 1 + stream id, so
+  // the default stream keeps its pre-stream lane) and every event edge
+  // becomes an "s"/"f" flow-arrow pair.
+  simgpu::Device dev(simgpu::a100());
+  Tracer tracer;
+  dev.set_tracer(&tracer);
+  const simgpu::Stream copy = dev.create_stream("copy");
+  dev.record("h2d", make_stats(0, 64), 0.0, copy);
+  dev.wait_event(simgpu::Stream{}, dev.record_event(copy));
+  dev.record("kernel", make_stats(10, 80));
+
+  const json::Value v = json::parse(tracer.chrome_trace_json());
+  const json::Value* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int on_default_lane = 0, on_copy_lane = 0, flow_starts = 0, flow_ends = 0;
+  for (const json::Value& e : events->array) {
+    const std::string& ph = e.find("ph")->str;
+    if (ph == "X" && e.find("cat")->str == "kernel") {
+      const double tid = e.find("tid")->num;
+      const double stream = e.find("args")->find("stream")->num;
+      EXPECT_DOUBLE_EQ(tid, 1.0 + stream);
+      if (tid == 1.0) ++on_default_lane;
+      if (tid == 2.0) ++on_copy_lane;
+    }
+    if (ph == "s") ++flow_starts;
+    if (ph == "f") ++flow_ends;
+  }
+  EXPECT_EQ(on_default_lane, 1);
+  EXPECT_EQ(on_copy_lane, 1);
+  EXPECT_EQ(flow_starts, 1);  // one dependency edge -> one arrow pair
+  EXPECT_EQ(flow_ends, 1);
+}
+
+TEST(Tracer, ChromeKernelSpanCountMatchesDeviceLaunchTotals) {
+  simgpu::Device dev(simgpu::a100());
+  Tracer tracer;
+  dev.set_tracer(&tracer);
+  for (int i = 0; i < 3; ++i) {
+    simgpu::launch(dev, "k", simgpu::LaunchConfig{1, 8, 0}, make_stats(1, 8),
+                   [](const simgpu::KernelCtx&) {});
+  }
+  simgpu::launch(dev, "j", simgpu::LaunchConfig{2, 4, 0}, make_stats(2, 16),
+                 [](const simgpu::KernelCtx&) {});
+
+  std::int64_t launches = 0;
+  for (const auto& [name, stats] : dev.per_kernel()) launches += stats.launches;
+  ASSERT_EQ(launches, 4);
+
+  const json::Value v = json::parse(tracer.chrome_trace_json());
+  int kernel_events = 0;
+  for (const json::Value& e : v.find("traceEvents")->array) {
+    if (e.find("ph")->str == "X" && e.find("cat")->str == "kernel") {
+      ++kernel_events;
+    }
+  }
+  EXPECT_EQ(kernel_events, launches);  // one slice per recorded launch
+}
+
 // --- bench JSON session -----------------------------------------------------
 
 struct EnvGuard {
