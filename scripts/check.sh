@@ -3,8 +3,15 @@
 # RelWithDebInfo build, then an ASan+UBSan build (-DCSTF_SANITIZE=ON). Any
 # compile error, test failure, or sanitizer report fails the script.
 #
+# After the plain pass, a perf-smoke step runs the scatter-engine fixtures
+# (bench_host_wallclock --smoke): it fails if the privatized strategy is
+# slower than atomic scatter on the short-mode fixture, and validates the
+# emitted JSON telemetry. CSTF_CHECK_SKIP_PERF=1 skips it (e.g. on loaded CI
+# machines where wall-clock comparisons are unreliable).
+#
 # Knobs (env vars): CSTF_CHECK_SKIP_SANITIZE=1 skips the second pass (useful
-# on toolchains without sanitizer runtimes), CSTF_THREADS.
+# on toolchains without sanitizer runtimes), CSTF_CHECK_SKIP_PERF=1,
+# CSTF_THREADS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +19,16 @@ echo "=== pass 1/2: plain build + ctest"
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+
+if [ "${CSTF_CHECK_SKIP_PERF:-0}" = "1" ]; then
+  echo "=== perf smoke skipped (CSTF_CHECK_SKIP_PERF=1)"
+else
+  echo "=== perf smoke: scatter strategies (privatized must beat atomic)"
+  mkdir -p results/json
+  CSTF_BENCH_JSON=1 CSTF_BENCH_JSON_DIR=results/json \
+    ./build/bench/bench_host_wallclock --smoke
+  ./build/tools/cstf_json_check results/json/BENCH_host_wallclock.json
+fi
 
 if [ "${CSTF_CHECK_SKIP_SANITIZE:-0}" = "1" ]; then
   echo "=== pass 2/2 skipped (CSTF_CHECK_SKIP_SANITIZE=1)"

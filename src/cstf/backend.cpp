@@ -8,13 +8,22 @@
 
 namespace cstf {
 
-BlcoBackend::BlcoBackend(const SparseTensor& coo, index_t block_capacity)
-    : blco_(coo, block_capacity), norm_sq_(coo.frobenius_norm_sq()) {}
+BlcoBackend::BlcoBackend(const SparseTensor& coo, index_t block_capacity,
+                         ScatterOptions scatter)
+    : blco_(coo, block_capacity),
+      norm_sq_(coo.frobenius_norm_sq()),
+      scatter_(scatter) {}
 
 void BlcoBackend::mttkrp(simgpu::Device& dev,
                          const std::vector<Matrix>& factors, int mode,
                          Matrix& out) const {
-  mttkrp_blco(dev, blco_, factors, mode, out);
+  ScatterOptions opts = scatter_;
+  opts.strategy = resolve_scatter_strategy(opts, dim(mode), out.cols(), nnz());
+  const ScatterPlan* plan = nullptr;
+  if (opts.strategy == ScatterStrategy::kSorted) {
+    plan = &plans_.get(mode, [&] { return blco_scatter_plan(blco_, mode); });
+  }
+  last_strategy_ = mttkrp_blco(dev, blco_, factors, mode, out, opts, plan);
 }
 
 CsfBackend::CsfBackend(const SparseTensor& coo)
@@ -33,22 +42,39 @@ void CsfBackend::mttkrp(simgpu::Device& dev,
   mttkrp_csf(tree, factors, out);
 }
 
-AltoBackend::AltoBackend(const SparseTensor& coo)
-    : alto_(coo), norm_sq_(coo.frobenius_norm_sq()) {}
+AltoBackend::AltoBackend(const SparseTensor& coo, ScatterOptions scatter)
+    : alto_(coo), norm_sq_(coo.frobenius_norm_sq()), scatter_(scatter) {}
 
 void AltoBackend::mttkrp(simgpu::Device& dev,
                          const std::vector<Matrix>& factors, int mode,
                          Matrix& out) const {
-  dev.record("mttkrp_alto", alto_mttkrp_stats(alto_, factors, mode));
-  mttkrp_alto(alto_, factors, mode, out);
+  ScatterOptions opts = scatter_;
+  opts.strategy = resolve_scatter_strategy(opts, dim(mode), out.cols(), nnz());
+  const ScatterPlan* plan = nullptr;
+  if (opts.strategy == ScatterStrategy::kSorted) {
+    plan = &plans_.get(mode, [&] { return alto_scatter_plan(alto_, mode); });
+  }
+  simgpu::KernelStats stats = alto_mttkrp_stats(alto_, factors, mode);
+  apply_scatter_stats(stats, opts.strategy, dim(mode), out.cols(),
+                      static_cast<double>(nnz()));
+  dev.record("mttkrp_alto", stats);
+  mttkrp_alto(alto_, factors, mode, out, opts, plan);
 }
 
-CooBackend::CooBackend(SparseTensor coo)
-    : coo_(std::move(coo)), norm_sq_(coo_.frobenius_norm_sq()) {}
+CooBackend::CooBackend(SparseTensor coo, ScatterOptions scatter)
+    : coo_(std::move(coo)),
+      norm_sq_(coo_.frobenius_norm_sq()),
+      scatter_(scatter) {}
 
 void CooBackend::mttkrp(simgpu::Device& dev,
                         const std::vector<Matrix>& factors, int mode,
                         Matrix& out) const {
+  ScatterOptions opts = scatter_;
+  opts.strategy = resolve_scatter_strategy(opts, dim(mode), out.cols(), nnz());
+  const ScatterPlan* plan = nullptr;
+  if (opts.strategy == ScatterStrategy::kSorted) {
+    plan = &plans_.get(mode, [&] { return coo_scatter_plan(coo_, mode); });
+  }
   // Traffic mirrors the ALTO accounting minus the compression.
   simgpu::KernelStats stats;
   const auto rank = static_cast<double>(factors[0].cols());
@@ -59,8 +85,9 @@ void CooBackend::mttkrp(simgpu::Device& dev,
       n * (static_cast<double>(modes) * sizeof(index_t) + sizeof(real_t));
   stats.bytes_random = n * rank * simgpu::kWord * static_cast<double>(modes + 1);
   stats.parallel_items = n;
+  apply_scatter_stats(stats, opts.strategy, dim(mode), out.cols(), n);
   dev.record("mttkrp_coo", stats);
-  mttkrp_coo(coo_, factors, mode, out);
+  mttkrp_coo(coo_, factors, mode, out, opts, plan);
 }
 
 DenseBackend::DenseBackend(DenseTensor dense)

@@ -17,6 +17,7 @@
 #include "formats/blco.hpp"
 #include "formats/csf.hpp"
 #include "la/matrix.hpp"
+#include "mttkrp/scatter.hpp"
 #include "simgpu/device.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"
@@ -42,10 +43,13 @@ class MttkrpBackend {
                       int mode, Matrix& out) const = 0;
 };
 
-/// BLCO-format backend (the GPU framework's engine).
+/// BLCO-format backend (the GPU framework's engine). `scatter` selects the
+/// output-accumulation strategy (see mttkrp/scatter.hpp); sorted-scatter
+/// plans are built lazily per mode and cached for the tensor's lifetime.
 class BlcoBackend final : public MttkrpBackend {
  public:
-  explicit BlcoBackend(const SparseTensor& coo, index_t block_capacity = 4096);
+  explicit BlcoBackend(const SparseTensor& coo, index_t block_capacity = 4096,
+                       ScatterOptions scatter = {});
 
   std::string name() const override { return "BLCO"; }
   int num_modes() const override { return blco_.num_modes(); }
@@ -59,9 +63,16 @@ class BlcoBackend final : public MttkrpBackend {
 
   const BlcoTensor& tensor() const { return blco_; }
 
+  /// The concrete strategy the engine used on the most recent mttkrp call
+  /// (after kAuto resolution); kAuto until the first call.
+  ScatterStrategy last_scatter_strategy() const { return last_strategy_; }
+
  private:
   BlcoTensor blco_;
   real_t norm_sq_;
+  ScatterOptions scatter_;
+  mutable ScatterPlanCache plans_;
+  mutable ScatterStrategy last_strategy_ = ScatterStrategy::kAuto;
 };
 
 /// CSF backend with one tree per mode (SPLATT's ALLMODE configuration).
@@ -87,7 +98,7 @@ class CsfBackend final : public MttkrpBackend {
 /// ALTO backend: a single linearized copy serving all modes.
 class AltoBackend final : public MttkrpBackend {
  public:
-  explicit AltoBackend(const SparseTensor& coo);
+  explicit AltoBackend(const SparseTensor& coo, ScatterOptions scatter = {});
 
   std::string name() const override { return "ALTO"; }
   int num_modes() const override { return alto_.num_modes(); }
@@ -102,12 +113,14 @@ class AltoBackend final : public MttkrpBackend {
  private:
   AltoTensor alto_;
   real_t norm_sq_;
+  ScatterOptions scatter_;
+  mutable ScatterPlanCache plans_;
 };
 
 /// COO reference backend (tests and tiny problems).
 class CooBackend final : public MttkrpBackend {
  public:
-  explicit CooBackend(SparseTensor coo);
+  explicit CooBackend(SparseTensor coo, ScatterOptions scatter = {});
 
   std::string name() const override { return "COO"; }
   int num_modes() const override { return coo_.num_modes(); }
@@ -120,6 +133,8 @@ class CooBackend final : public MttkrpBackend {
  private:
   SparseTensor coo_;
   real_t norm_sq_;
+  ScatterOptions scatter_;
+  mutable ScatterPlanCache plans_;
 };
 
 /// Dense backend (the PLANC dense-TF baseline of Figure 1).

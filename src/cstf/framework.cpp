@@ -39,7 +39,7 @@ CstfFramework::CstfFramework(const SparseTensor& tensor,
                              FrameworkOptions options)
     : options_(options),
       device_(options.device),
-      backend_(tensor, options.blco_block_capacity),
+      backend_(tensor, options.blco_block_capacity, options.scatter),
       update_(make_update(options.scheme, options.prox,
                           options.admm_inner_iterations)) {
   AuntfOptions auntf;

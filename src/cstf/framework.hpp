@@ -56,6 +56,11 @@ struct FrameworkOptions {
   /// BLCO block capacity (nonzeros per device block).
   index_t blco_block_capacity = 4096;
 
+  /// MTTKRP output-accumulation strategy (see mttkrp/scatter.hpp). The
+  /// default auto-selects per mode; set `scatter.deterministic` for
+  /// bit-identical repeated runs.
+  ScatterOptions scatter;
+
   /// Model per-mode Gram work concurrently with MTTKRP on a second stream
   /// (see AuntfOptions::pipeline_streams). Off by default: serial modeling.
   bool pipeline_streams = false;

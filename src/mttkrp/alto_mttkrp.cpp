@@ -1,7 +1,6 @@
 #include "mttkrp/alto_mttkrp.hpp"
 
 #include "common/error.hpp"
-#include "parallel/atomic.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace cstf {
@@ -42,36 +41,63 @@ simgpu::KernelStats alto_mttkrp_stats(const AltoTensor& alto,
 
 void mttkrp_alto(const AltoTensor& alto, const std::vector<Matrix>& factors,
                  int mode, Matrix& out) {
+  ScatterOptions opts;
+  opts.strategy = ScatterStrategy::kAtomic;
+  mttkrp_alto(alto, factors, mode, out, opts);
+}
+
+ScatterStrategy mttkrp_alto(const AltoTensor& alto,
+                            const std::vector<Matrix>& factors, int mode,
+                            Matrix& out, const ScatterOptions& opts,
+                            const ScatterPlan* plan) {
   const int modes = alto.num_modes();
   CSTF_CHECK(mode >= 0 && mode < modes);
   CSTF_CHECK(static_cast<int>(factors.size()) == modes);
   const index_t rank = factors[0].cols();
-  CSTF_CHECK(out.rows() == alto.dims()[static_cast<std::size_t>(mode)] &&
-             out.cols() == rank);
-  out.set_all(0.0);
+  const index_t mode_len = alto.dims()[static_cast<std::size_t>(mode)];
+  CSTF_CHECK(out.rows() == mode_len && out.cols() == rank);
+
+  const ScatterStrategy strategy =
+      resolve_scatter_strategy(opts, mode_len, rank, alto.nnz());
+
+  ScatterPlan local_plan;
+  if (strategy == ScatterStrategy::kSorted && plan == nullptr) {
+    local_plan = alto_scatter_plan(alto, mode);
+    plan = &local_plan;
+  }
 
   const auto& enc = alto.encoding();
   const auto& lcos = alto.linearized();
   const auto& vals = alto.values();
 
-  parallel_for_blocked(0, alto.nnz(), [&](index_t lo, index_t hi) {
-    std::vector<real_t> row(static_cast<std::size_t>(rank));
-    index_t coords[kMaxModes];
-    for (index_t i = lo; i < hi; ++i) {
-      enc.decode_all(lcos[static_cast<std::size_t>(i)], coords);
-      const real_t v = vals[static_cast<std::size_t>(i)];
-      for (index_t r = 0; r < rank; ++r) row[static_cast<std::size_t>(r)] = v;
-      for (int m = 0; m < modes; ++m) {
-        if (m == mode) continue;
-        const Matrix& f = factors[static_cast<std::size_t>(m)];
-        for (index_t r = 0; r < rank; ++r) {
-          row[static_cast<std::size_t>(r)] *= f(coords[m], r);
+  scatter_accumulate(
+      strategy, out, alto.nnz(),
+      [&](index_t i, real_t* row) {
+        index_t coords[kMaxModes];
+        enc.decode_all(lcos[static_cast<std::size_t>(i)], coords);
+        const real_t v = vals[static_cast<std::size_t>(i)];
+        for (index_t r = 0; r < rank; ++r) row[static_cast<std::size_t>(r)] = v;
+        for (int m = 0; m < modes; ++m) {
+          if (m == mode) continue;
+          const Matrix& f = factors[static_cast<std::size_t>(m)];
+          for (index_t r = 0; r < rank; ++r) {
+            row[static_cast<std::size_t>(r)] *= f(coords[m], r);
+          }
         }
-      }
-      for (index_t r = 0; r < rank; ++r) {
-        atomic_add(&out(coords[mode], r), row[static_cast<std::size_t>(r)]);
-      }
-    }
+        return coords[mode];
+      },
+      plan);
+  return strategy;
+}
+
+ScatterPlan alto_scatter_plan(const AltoTensor& alto, int mode) {
+  CSTF_CHECK(mode >= 0 && mode < alto.num_modes());
+  const auto& enc = alto.encoding();
+  const auto& lcos = alto.linearized();
+  return build_scatter_plan(alto.nnz(), [&](index_t i) {
+    index_t coords[kMaxModes];
+    enc.decode_all(lcos[static_cast<std::size_t>(i)], coords);
+    return coords[mode];
   });
 }
 

@@ -5,6 +5,7 @@
 
 #include "formats/alto.hpp"
 #include "la/matrix.hpp"
+#include "mttkrp/scatter.hpp"
 #include "simgpu/counters.hpp"
 
 namespace cstf {
@@ -15,9 +16,21 @@ namespace cstf {
 void mttkrp_alto(const AltoTensor& alto, const std::vector<Matrix>& factors,
                  int mode, Matrix& out);
 
+/// MTTKRP through the adaptive scatter engine; returns the concrete strategy
+/// used. A null `plan` with the sorted strategy builds a one-shot plan.
+ScatterStrategy mttkrp_alto(const AltoTensor& alto,
+                            const std::vector<Matrix>& factors, int mode,
+                            Matrix& out, const ScatterOptions& opts,
+                            const ScatterPlan* plan = nullptr);
+
+/// Builds the sorted-scatter plan for `mode` (bucket the linearized stream
+/// by the mode's decoded coordinate); reusable across iterations.
+ScatterPlan alto_scatter_plan(const AltoTensor& alto, int mode);
+
 /// Cost-model statistics for one mttkrp_alto call: linearized stream read
 /// once, factor gathers and the atomic output scatter charged as random
-/// traffic.
+/// traffic. Describes the shared (strategy-independent) work; use
+/// `apply_scatter_stats` to add the strategy-specific terms.
 simgpu::KernelStats alto_mttkrp_stats(const AltoTensor& alto,
                                       const std::vector<Matrix>& factors,
                                       int mode);

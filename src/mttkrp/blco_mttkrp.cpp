@@ -46,49 +46,186 @@ namespace {
 
 // Scales the extensive parts of a per-call record to a fraction of the
 // nonzeros (used to pro-rate the full-tensor stats over a streamed batch).
+// `atomic_slots` stays: every batch scatters into the same output rows.
 simgpu::KernelStats prorate(const simgpu::KernelStats& stats, double share) {
   simgpu::KernelStats scaled = stats;
   scaled.flops *= share;
   scaled.bytes_streamed *= share;
   scaled.bytes_reused *= share;
   scaled.bytes_random *= share;
+  scaled.atomic_ops *= share;
   scaled.parallel_items *= share;
   return scaled;
 }
 
-// Core kernel over a contiguous block range [block_lo, block_lo + grid):
-// shared by the resident and streamed entry points. `stats` must describe
-// exactly this range's work.
+// Per-worker Khatri-Rao row scratch, reused across blocks and launches (the
+// launch.hpp shared-memory pattern): a fresh vector per block costs a heap
+// round-trip per block per call.
+real_t* krp_row_scratch(index_t rank) {
+  thread_local std::vector<real_t> row;
+  if (row.size() < static_cast<std::size_t>(rank)) {
+    row.resize(static_cast<std::size_t>(rank));
+  }
+  return row.data();
+}
+
+// Computes nonzero (blk, i)'s Khatri-Rao row into `row` and returns its
+// output-mode coordinate. Shared by all three device kernels.
+index_t blco_krp_row(const BlcoTensor& blco, const BlcoBlock& blk,
+                     const BitReader& deltas, index_t i,
+                     const std::vector<Matrix>& factors, int mode,
+                     index_t rank, real_t* row) {
+  const int modes = blco.num_modes();
+  index_t coords[kMaxModes];
+  const lco_t lco = blk.base + deltas.get(static_cast<std::size_t>(i));
+  blco.encoding().decode_all(lco, coords);
+  const real_t v =
+      blco.values()[static_cast<std::size_t>(blk.value_offset + i)];
+  for (index_t r = 0; r < rank; ++r) row[r] = v;
+  for (int m = 0; m < modes; ++m) {
+    if (m == mode) continue;
+    const Matrix& f = factors[static_cast<std::size_t>(m)];
+    for (index_t r = 0; r < rank; ++r) row[r] *= f(coords[m], r);
+  }
+  return coords[mode];
+}
+
+// Atomic-scatter kernel over a contiguous block range [block_lo, block_lo +
+// grid): shared by the resident and streamed entry points. `stats` must
+// describe exactly this range's work.
 void launch_blco_range(simgpu::Device& dev, const char* name,
                        const BlcoTensor& blco,
                        const std::vector<Matrix>& factors, int mode,
                        Matrix& out, index_t block_lo, index_t grid,
                        simgpu::KernelStats stats) {
-  const int modes = blco.num_modes();
   const index_t rank = factors[0].cols();
-  const auto& enc = blco.encoding();
   constexpr index_t kThreads = 128;
-  CSTF_CHECK(rank <= 64);
   simgpu::LaunchConfig cfg{.grid_dim = grid, .block_dim = kThreads};
   simgpu::launch(dev, name, cfg, stats, [&](const simgpu::KernelCtx& ctx) {
     const BlcoBlock& blk = blco.block(block_lo + ctx.block_idx);
     const BitReader deltas(blk.packed_deltas.data(), blk.delta_bits);
-    real_t row[64];
-    index_t coords[kMaxModes];
+    real_t* row = krp_row_scratch(rank);
     for (index_t i = ctx.thread_idx; i < blk.count; i += ctx.block_dim) {
-      const lco_t lco = blk.base + deltas.get(static_cast<std::size_t>(i));
-      enc.decode_all(lco, coords);
-      const real_t v =
-          blco.values()[static_cast<std::size_t>(blk.value_offset + i)];
-      for (index_t r = 0; r < rank; ++r) row[r] = v;
-      for (int m = 0; m < modes; ++m) {
-        if (m == mode) continue;
-        const Matrix& f = factors[static_cast<std::size_t>(m)];
-        for (index_t r = 0; r < rank; ++r) row[r] *= f(coords[m], r);
-      }
+      const index_t out_row =
+          blco_krp_row(blco, blk, deltas, i, factors, mode, rank, row);
       for (index_t r = 0; r < rank; ++r) {
-        atomic_add(&out(coords[mode], r), row[r]);
+        atomic_add(&out(out_row, r), row[r]);
       }
+    }
+  });
+}
+
+// Privatized kernel: grid of `tiles` launch blocks, tile t accumulating its
+// fixed contiguous BLCO-block range into a private output tile (tile 0 is
+// `out` itself, already zeroed), followed by a reduce launch combining the
+// tiles with the fixed pairwise tree — atomic-free and bit-deterministic
+// regardless of which worker runs which tile.
+void launch_blco_priv(simgpu::Device& dev, const BlcoTensor& blco,
+                      const std::vector<Matrix>& factors, int mode,
+                      Matrix& out, simgpu::KernelStats stats) {
+  const index_t rank = factors[0].cols();
+  const index_t mode_len = out.rows();
+  const index_t num_blocks = blco.num_blocks();
+  const index_t tiles =
+      std::min(privatized_tile_count(blco.nnz()), num_blocks);
+  const auto len = static_cast<std::size_t>(mode_len * rank);
+  const double tile_bytes = static_cast<double>(len) * simgpu::kWord;
+
+  ScratchPool::Lease lease = ScratchPool::global().acquire(
+      static_cast<std::size_t>(tiles - 1), len);
+  std::vector<real_t*> tile(static_cast<std::size_t>(tiles));
+  tile[0] = out.data();
+  for (index_t t = 1; t < tiles; ++t) {
+    tile[static_cast<std::size_t>(t)] =
+        lease.tile(static_cast<std::size_t>(t - 1));
+  }
+  const index_t per_tile = (num_blocks + tiles - 1) / tiles;
+
+  // Accumulate launch: base stats plus the tile zero-fill traffic.
+  stats.bytes_streamed += static_cast<double>(tiles) * tile_bytes;
+  simgpu::LaunchConfig cfg{.grid_dim = tiles, .block_dim = 1};
+  simgpu::launch(dev, "mttkrp_blco_priv", cfg, stats,
+                 [&](const simgpu::KernelCtx& ctx) {
+    const index_t t = ctx.block_idx;
+    real_t* dst = tile[static_cast<std::size_t>(t)];
+    if (t > 0) std::fill_n(dst, len, real_t{0});
+    real_t* row = krp_row_scratch(rank);
+    const index_t b_lo = t * per_tile;
+    const index_t b_hi = std::min<index_t>(b_lo + per_tile, num_blocks);
+    for (index_t b = b_lo; b < b_hi; ++b) {
+      const BlcoBlock& blk = blco.block(b);
+      const BitReader deltas(blk.packed_deltas.data(), blk.delta_bits);
+      for (index_t i = 0; i < blk.count; ++i) {
+        const index_t out_row =
+            blco_krp_row(blco, blk, deltas, i, factors, mode, rank, row);
+        for (index_t r = 0; r < rank; ++r) {
+          dst[static_cast<std::size_t>(r * mode_len + out_row)] += row[r];
+        }
+      }
+    }
+  });
+
+  // Reduce launch: single-block (the element-level parallelism happens
+  // inside deterministic_tree_reduce), metered as the tree's traffic.
+  simgpu::KernelStats red;
+  red.bytes_streamed = 3.0 * static_cast<double>(tiles - 1) * tile_bytes;
+  red.flops = static_cast<double>(tiles - 1) * static_cast<double>(len);
+  red.parallel_items = static_cast<double>(len);
+  simgpu::launch(dev, "mttkrp_blco_reduce",
+                 simgpu::LaunchConfig{.grid_dim = 1, .block_dim = 1}, red,
+                 [&](const simgpu::KernelCtx&) {
+                   deterministic_tree_reduce(tile.data(),
+                                             static_cast<std::size_t>(tiles),
+                                             static_cast<index_t>(len));
+                 });
+}
+
+// Sorted kernel: threads stride over the plan's segments; each segment owns
+// one output row, so the final writes are plain stores and the per-row
+// accumulation order is the plan's (fixed) order.
+void launch_blco_sorted(simgpu::Device& dev, const BlcoTensor& blco,
+                        const std::vector<Matrix>& factors, int mode,
+                        Matrix& out, const ScatterPlan& plan,
+                        simgpu::KernelStats stats) {
+  const index_t rank = factors[0].cols();
+  const index_t num_blocks = blco.num_blocks();
+  const index_t segments = plan.num_segments();
+
+  // Global-nonzero-id -> block lookup: blocks are ordered by value_offset.
+  std::vector<index_t> offsets(static_cast<std::size_t>(num_blocks));
+  for (index_t b = 0; b < num_blocks; ++b) {
+    offsets[static_cast<std::size_t>(b)] = blco.block(b).value_offset;
+  }
+
+  constexpr index_t kThreads = 128;
+  simgpu::LaunchConfig cfg{
+      .grid_dim = simgpu::blocks_for(segments, kThreads),
+      .block_dim = kThreads};
+  simgpu::launch(dev, "mttkrp_blco_sorted", cfg, stats,
+                 [&](const simgpu::KernelCtx& ctx) {
+    thread_local std::vector<real_t> scratch;
+    if (scratch.size() < 2 * static_cast<std::size_t>(rank)) {
+      scratch.resize(2 * static_cast<std::size_t>(rank));
+    }
+    real_t* row = scratch.data();
+    real_t* acc = scratch.data() + rank;
+    for (index_t s = ctx.global_thread_id(); s < segments;
+         s += ctx.total_threads()) {
+      std::fill_n(acc, static_cast<std::size_t>(rank), real_t{0});
+      const index_t lo = plan.seg_ptr[static_cast<std::size_t>(s)];
+      const index_t hi = plan.seg_ptr[static_cast<std::size_t>(s) + 1];
+      for (index_t k = lo; k < hi; ++k) {
+        const index_t i = plan.order[static_cast<std::size_t>(k)];
+        const auto it = std::upper_bound(offsets.begin(), offsets.end(), i);
+        const auto b = static_cast<index_t>(it - offsets.begin()) - 1;
+        const BlcoBlock& blk = blco.block(b);
+        const BitReader deltas(blk.packed_deltas.data(), blk.delta_bits);
+        blco_krp_row(blco, blk, deltas, i - blk.value_offset, factors, mode,
+                     rank, row);
+        for (index_t r = 0; r < rank; ++r) acc[r] += row[r];
+      }
+      const index_t out_row = plan.seg_row[static_cast<std::size_t>(s)];
+      for (index_t r = 0; r < rank; ++r) out(out_row, r) = acc[r];
     }
   });
 }
@@ -120,8 +257,72 @@ void mttkrp_blco(simgpu::Device& dev, const BlcoTensor& blco,
                  const std::vector<Matrix>& factors, int mode, Matrix& out) {
   check_mttkrp_args(blco, factors, mode, out);
   zero_output(dev, out);
+  simgpu::KernelStats stats = blco_mttkrp_stats(blco, factors, mode);
+  apply_scatter_stats(stats, ScatterStrategy::kAtomic, out.rows(), out.cols(),
+                      static_cast<double>(blco.nnz()));
   launch_blco_range(dev, "mttkrp_blco", blco, factors, mode, out, 0,
-                    blco.num_blocks(), blco_mttkrp_stats(blco, factors, mode));
+                    blco.num_blocks(), stats);
+}
+
+ScatterStrategy mttkrp_blco(simgpu::Device& dev, const BlcoTensor& blco,
+                            const std::vector<Matrix>& factors, int mode,
+                            Matrix& out, const ScatterOptions& opts,
+                            const ScatterPlan* plan) {
+  check_mttkrp_args(blco, factors, mode, out);
+  const index_t rank = factors[0].cols();
+  const index_t mode_len = out.rows();
+  const ScatterStrategy strategy =
+      resolve_scatter_strategy(opts, mode_len, rank, blco.nnz());
+
+  ScatterPlan local_plan;
+  if (strategy == ScatterStrategy::kSorted && plan == nullptr) {
+    local_plan = blco_scatter_plan(blco, mode);
+    plan = &local_plan;
+  }
+
+  zero_output(dev, out);
+  simgpu::KernelStats stats = blco_mttkrp_stats(blco, factors, mode);
+  switch (strategy) {
+    case ScatterStrategy::kAtomic:
+      apply_scatter_stats(stats, strategy, mode_len, rank,
+                          static_cast<double>(blco.nnz()));
+      launch_blco_range(dev, "mttkrp_blco", blco, factors, mode, out, 0,
+                        blco.num_blocks(), stats);
+      break;
+    case ScatterStrategy::kPrivatized:
+      // launch_blco_priv splits the privatized extras over its two launches.
+      launch_blco_priv(dev, blco, factors, mode, out, stats);
+      break;
+    case ScatterStrategy::kSorted:
+      apply_scatter_stats(stats, strategy, mode_len, rank,
+                          static_cast<double>(blco.nnz()));
+      launch_blco_sorted(dev, blco, factors, mode, out, *plan, stats);
+      break;
+    case ScatterStrategy::kAuto:
+      break;  // resolve_scatter_strategy never returns kAuto
+  }
+  return strategy;
+}
+
+ScatterPlan blco_scatter_plan(const BlcoTensor& blco, int mode) {
+  CSTF_CHECK(mode >= 0 && mode < blco.num_modes());
+  const index_t nnz = blco.nnz();
+  std::vector<lco_t> keys(static_cast<std::size_t>(nnz));
+  std::vector<index_t> order(static_cast<std::size_t>(nnz));
+  const auto& enc = blco.encoding();
+  parallel_for(0, blco.num_blocks(), [&](index_t b) {
+    const BlcoBlock& blk = blco.block(b);
+    const BitReader deltas(blk.packed_deltas.data(), blk.delta_bits);
+    index_t coords[kMaxModes];
+    for (index_t i = 0; i < blk.count; ++i) {
+      const lco_t lco = blk.base + deltas.get(static_cast<std::size_t>(i));
+      enc.decode_all(lco, coords);
+      const auto at = static_cast<std::size_t>(blk.value_offset + i);
+      keys[at] = static_cast<lco_t>(coords[mode]);
+      order[at] = blk.value_offset + i;
+    }
+  });
+  return detail::finish_scatter_plan(std::move(keys), std::move(order));
 }
 
 index_t mttkrp_blco_streamed(simgpu::Device& dev, const BlcoTensor& blco,
@@ -143,8 +344,9 @@ index_t mttkrp_blco_streamed(simgpu::Device& dev, const BlcoTensor& blco,
   const index_t per_batch = (blco.num_blocks() + batches - 1) / batches;
 
   const bool staged_async = !copy_stream.is_default();
-  const simgpu::KernelStats full_stats =
-      blco_mttkrp_stats(blco, factors, mode);
+  simgpu::KernelStats full_stats = blco_mttkrp_stats(blco, factors, mode);
+  apply_scatter_stats(full_stats, ScatterStrategy::kAtomic, out.rows(),
+                      out.cols(), static_cast<double>(blco.nnz()));
   std::vector<simgpu::Event> compute_done;  // per batch, for buffer reuse
   index_t used = 0;
   for (index_t lo = 0; lo < blco.num_blocks(); lo += per_batch) {

@@ -2,27 +2,52 @@
 //
 // One thread block per BLCO block; threads stride over the block's nonzeros,
 // unpack the delta-compressed coordinates, form the Khatri-Rao row on the
-// fly, and scatter into the output with atomics. The launch is metered: the
-// streamed bytes are the *compressed* tensor, and the factor-row gathers are
-// charged as random traffic against a working set of the live factor
-// matrices — the two quantities whose interplay produces the
-// MTTKRP-vs-ADMM speedup trade-off of Figures 7–8.
+// fly, and scatter into the output. The launch is metered: the streamed
+// bytes are the *compressed* tensor, and the factor-row gathers are charged
+// as random traffic against a working set of the live factor matrices — the
+// two quantities whose interplay produces the MTTKRP-vs-ADMM speedup
+// trade-off of Figures 7–8.
+//
+// The output scatter goes through the adaptive scatter engine
+// (mttkrp/scatter.hpp). Three device kernels exist:
+//   mttkrp_blco         — atomic scatter (the original kernel), with the
+//                         atomic-op counts feeding the contention model;
+//   mttkrp_blco_priv    — grid of private output tiles, one per fixed BLCO
+//                         block range, + a mttkrp_blco_reduce launch that
+//                         tree-combines them (atomic-free, deterministic);
+//   mttkrp_blco_sorted  — segment sweep over a row-bucketed plan, one owner
+//                         per output row (atomic-free, deterministic).
 #pragma once
 
 #include <vector>
 
 #include "formats/blco.hpp"
 #include "la/matrix.hpp"
+#include "mttkrp/scatter.hpp"
 #include "simgpu/device.hpp"
 
 namespace cstf {
 
-/// MTTKRP for `mode` on the simulated device. `out` must be dims()[mode] x R.
+/// MTTKRP for `mode` on the simulated device using atomic scatter (the
+/// pre-engine behavior). `out` must be dims()[mode] x R.
 void mttkrp_blco(simgpu::Device& dev, const BlcoTensor& blco,
                  const std::vector<Matrix>& factors, int mode, Matrix& out);
 
+/// MTTKRP through the adaptive scatter engine; returns the concrete strategy
+/// used. A null `plan` with the sorted strategy builds a one-shot plan.
+ScatterStrategy mttkrp_blco(simgpu::Device& dev, const BlcoTensor& blco,
+                            const std::vector<Matrix>& factors, int mode,
+                            Matrix& out, const ScatterOptions& opts,
+                            const ScatterPlan* plan = nullptr);
+
+/// Builds the sorted-scatter plan for `mode` (bucket the delta-decoded
+/// nonzeros by output row); reusable across iterations.
+ScatterPlan blco_scatter_plan(const BlcoTensor& blco, int mode);
+
 /// The KernelStats `mttkrp_blco` records for one call (exposed so benches
 /// can rescale the traffic to full-size datasets before modeling time).
+/// Describes the strategy-independent work; `apply_scatter_stats` adds the
+/// per-strategy terms.
 simgpu::KernelStats blco_mttkrp_stats(const BlcoTensor& blco,
                                       const std::vector<Matrix>& factors,
                                       int mode);
@@ -31,7 +56,9 @@ simgpu::KernelStats blco_mttkrp_stats(const BlcoTensor& blco,
 /// when the tensor exceeds `device_budget_bytes` of device memory (after the
 /// resident factors), its blocks are processed in batches staged over the
 /// host link, double-buffered so staging overlaps compute. Results are
-/// identical to `mttkrp_blco`.
+/// identical to `mttkrp_blco`. Always uses atomic scatter: the private-tile
+/// and plan structures would outlive the staged batches, defeating the
+/// memory budget the mode exists to honor.
 ///
 /// Two ways to model the staging:
 ///  * default `copy_stream` — each batch's compute span carries its own

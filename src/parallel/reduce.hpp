@@ -47,4 +47,23 @@ auto parallel_sum(index_t begin, index_t end, const Mapper& mapper,
       begin, end, T{}, mapper, [](T a, T b) { return a + b; }, grain);
 }
 
+/// Pairwise tree reduction of `num_tiles` equal-length buffers into
+/// `tiles[0]`: level by level, tiles[i] += tiles[i + stride]. The combine
+/// tree depends only on `num_tiles`, and each element is summed
+/// independently, so for a fixed tile count the result is bit-identical
+/// regardless of worker count or scheduling — the property the
+/// deterministic scatter paths rely on. Parallelism is over elements.
+inline void deterministic_tree_reduce(real_t* const* tiles,
+                                      std::size_t num_tiles, index_t len) {
+  for (std::size_t stride = 1; stride < num_tiles; stride *= 2) {
+    for (std::size_t i = 0; i + stride < num_tiles; i += 2 * stride) {
+      real_t* dst = tiles[i];
+      const real_t* src = tiles[i + stride];
+      parallel_for(0, len, [&](index_t j) {
+        dst[static_cast<std::size_t>(j)] += src[static_cast<std::size_t>(j)];
+      });
+    }
+  }
+}
+
 }  // namespace cstf

@@ -1,0 +1,58 @@
+#include "parallel/scratch_pool.hpp"
+
+#include <algorithm>
+
+namespace cstf {
+
+ScratchPool::Lease::~Lease() {
+  if (pool_ != nullptr) pool_->release(std::move(buffers_));
+}
+
+ScratchPool::Lease ScratchPool::acquire(std::size_t count, std::size_t size) {
+  Lease lease;
+  lease.pool_ = this;
+  lease.buffers_.reserve(count);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Hand out the largest idle buffers first: resize is then usually a
+    // no-op, and the pool converges to `count` buffers at the high-water
+    // size instead of accumulating many small ones.
+    std::sort(idle_.begin(), idle_.end(), [](const auto& a, const auto& b) {
+      return a->size() < b->size();
+    });
+    while (lease.buffers_.size() < count && !idle_.empty()) {
+      lease.buffers_.push_back(std::move(idle_.back()));
+      idle_.pop_back();
+    }
+  }
+  for (auto& buf : lease.buffers_) {
+    if (buf->size() < size) buf->resize(size);
+  }
+  while (lease.buffers_.size() < count) {
+    lease.buffers_.push_back(std::make_unique<std::vector<real_t>>(size));
+  }
+  return lease;
+}
+
+std::size_t ScratchPool::idle_buffers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+void ScratchPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.clear();
+}
+
+void ScratchPool::release(
+    std::vector<std::unique_ptr<std::vector<real_t>>> buffers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : buffers) idle_.push_back(std::move(buf));
+}
+
+ScratchPool& ScratchPool::global() {
+  static ScratchPool pool;
+  return pool;
+}
+
+}  // namespace cstf

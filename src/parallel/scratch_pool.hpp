@@ -1,0 +1,65 @@
+// Reusable scratch-tile pool for privatized accumulation.
+//
+// The privatized MTTKRP scatter path needs one private output tile
+// (dims[mode] x R reals) per accumulation lane, every call, for every mode.
+// Allocating those from the heap each launch costs a multi-megabyte
+// round-trip per call; this pool keeps the buffers alive across calls and
+// hands them out under a mutex (acquisition is per kernel call, not per
+// element, so the lock is cold).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cstf {
+
+/// Process-wide pool of reusable real_t scratch buffers.
+class ScratchPool {
+ public:
+  /// RAII lease over `count` buffers of `size` reals each. Buffers are NOT
+  /// zeroed on acquisition — callers zero the prefix they use (cheaper than
+  /// zeroing a whole recycled buffer that may be larger than needed).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    std::size_t count() const { return buffers_.size(); }
+    real_t* tile(std::size_t i) { return buffers_[i]->data(); }
+
+   private:
+    friend class ScratchPool;
+    ScratchPool* pool_ = nullptr;
+    std::vector<std::unique_ptr<std::vector<real_t>>> buffers_;
+  };
+
+  /// Acquires `count` buffers of at least `size` reals each, recycling
+  /// returned buffers when available (largest-first, so buffers grow toward
+  /// the high-water mark instead of fragmenting).
+  Lease acquire(std::size_t count, std::size_t size);
+
+  /// Buffers currently idle in the pool (for tests / introspection).
+  std::size_t idle_buffers() const;
+
+  /// Drops all idle buffers, releasing their memory.
+  void trim();
+
+  /// Process-wide instance shared by the scatter kernels.
+  static ScratchPool& global();
+
+ private:
+  void release(std::vector<std::unique_ptr<std::vector<real_t>>> buffers);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<std::vector<real_t>>> idle_;
+};
+
+}  // namespace cstf

@@ -17,6 +17,11 @@ double parallel_utilization(double parallel_items, double saturation) {
   return std::min(1.0, parallel_items / saturation);
 }
 
+double atomic_contention_factor(double concurrent_lanes, double slots) {
+  if (slots <= 0.0 || concurrent_lanes <= 1.0) return 1.0;
+  return 1.0 + (concurrent_lanes - 1.0) / slots;
+}
+
 TimeBreakdown model_time(const KernelStats& stats, const DeviceSpec& spec) {
   TimeBreakdown t;
 
@@ -53,16 +58,26 @@ TimeBreakdown model_time(const KernelStats& stats, const DeviceSpec& spec) {
 
   t.serial_s = stats.serial_depth / spec.serial_op_rate;
 
+  if (stats.atomic_ops > 0.0 && spec.atomic_rate > 0.0) {
+    // Lanes concurrently in flight: available work items, capped at what the
+    // device can keep resident.
+    const double lanes = std::min(std::max(1.0, stats.parallel_items),
+                                  spec.saturation_parallelism);
+    t.atomic_s = stats.atomic_ops *
+                 atomic_contention_factor(lanes, stats.atomic_slots) /
+                 spec.atomic_rate;
+  }
+
   if (stats.host_link_bytes > 0.0 && spec.host_link_bandwidth > 0.0) {
     t.link_s = stats.host_link_bytes / spec.host_link_bandwidth;
   }
 
   t.launch_s = static_cast<double>(stats.launches) * spec.launch_overhead;
 
-  // Compute, memory, serial chains, and double-buffered staging overlap
-  // (roofline max); launch overhead does not.
-  t.total_s =
-      t.launch_s + std::max({t.compute_s, t.memory_s, t.serial_s, t.link_s});
+  // Compute, memory, serial chains, atomics, and double-buffered staging
+  // overlap (roofline max); launch overhead does not.
+  t.total_s = t.launch_s + std::max({t.compute_s, t.memory_s, t.serial_s,
+                                     t.atomic_s, t.link_s});
   return t;
 }
 

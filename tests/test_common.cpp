@@ -188,6 +188,23 @@ TEST(RadixSort, HandlesEdgeInputs) {
   EXPECT_EQ(rp, (std::vector<index_t>{3, 2, 1, 0}));
 }
 
+TEST(RadixSort, AllDuplicateKeysKeepPayloadOrder) {
+  // The degenerate single-segment case of the sorted-scatter plans: every
+  // nonzero targets the same output row. Stability means the payload must
+  // come back untouched (and in particular not be scrambled by any skipped
+  // counting passes).
+  std::vector<lco_t> keys(257, 5);
+  std::vector<index_t> payload(257);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<index_t>(i);
+  }
+  radix_sort_pairs(keys, payload);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(keys[i], 5u);
+    ASSERT_EQ(payload[i], static_cast<index_t>(i));
+  }
+}
+
 TEST(RadixSort, FullWidth64BitKeys) {
   std::vector<lco_t> keys = {~lco_t{0}, 0, lco_t{1} << 63, 1};
   std::vector<index_t> payload = {0, 1, 2, 3};

@@ -272,6 +272,94 @@ TEST(Auntf, SameSeedSameResultAcrossBackends) {
   }
 }
 
+TEST(Auntf, ScatterStrategiesAgreeAcrossEngines) {
+  // The scatter strategy changes only the accumulation schedule, never the
+  // math: every concrete strategy must factor to (numerically) the same
+  // model as the atomic baseline.
+  const LowRankTensor lr = make_low_rank(6);
+  AdmmOptions admm_opt;
+  admm_opt.inner_iterations = 5;
+  AdmmUpdate update(admm_opt);
+  AuntfOptions opt;
+  opt.rank = 4;
+  opt.seed = 99;
+
+  auto run_with = [&](ScatterStrategy strategy) {
+    ScatterOptions scatter;
+    scatter.strategy = strategy;
+    simgpu::Device dev(simgpu::a100());
+    BlcoBackend backend(lr.tensor, 4096, scatter);
+    Auntf driver(dev, backend, update, opt);
+    driver.initialize();
+    driver.iterate();
+    driver.iterate();
+    EXPECT_EQ(backend.last_scatter_strategy(), strategy);
+    return driver.ktensor();
+  };
+
+  const KTensor atomic = run_with(ScatterStrategy::kAtomic);
+  const KTensor privatized = run_with(ScatterStrategy::kPrivatized);
+  const KTensor sorted = run_with(ScatterStrategy::kSorted);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_LT(max_abs_diff(atomic.factors[m], privatized.factors[m]), 1e-8);
+    EXPECT_LT(max_abs_diff(atomic.factors[m], sorted.factors[m]), 1e-8);
+  }
+}
+
+TEST(Framework, DeterministicScatterGivesBitIdenticalRuns) {
+  // The end-to-end determinism guarantee: with scatter.deterministic set,
+  // two complete factorizations from the same seed agree bit for bit —
+  // every factor entry and every lambda.
+  const LowRankTensor lr = make_low_rank(9);
+  FrameworkOptions options;
+  options.rank = 4;
+  options.max_iterations = 4;
+  options.seed = 5;
+  options.fit_tolerance = 0.0;
+  options.scatter.deterministic = true;
+
+  auto run_once = [&]() {
+    CstfFramework framework(lr.tensor, options);
+    framework.run();
+    return framework.ktensor();
+  };
+  const KTensor a = run_once();
+  const KTensor b = run_once();
+  ASSERT_EQ(a.num_modes(), b.num_modes());
+  for (int m = 0; m < a.num_modes(); ++m) {
+    EXPECT_DOUBLE_EQ(max_abs_diff(a.factors[m], b.factors[m]), 0.0)
+        << "mode " << m;
+  }
+  EXPECT_EQ(a.lambda, b.lambda);
+}
+
+TEST(Framework, BackendResolvesAutoAndCachesSortedPlans) {
+  const LowRankTensor lr = make_low_rank(13);
+  ScatterOptions scatter;
+  scatter.strategy = ScatterStrategy::kSorted;
+  BlcoBackend backend(lr.tensor, 4096, scatter);
+  CooBackend reference(lr.tensor);
+  simgpu::Device dev(simgpu::a100());
+  simgpu::Device ref_dev(simgpu::a100());
+  Rng rng(8);
+  std::vector<Matrix> factors;
+  for (int m = 0; m < backend.num_modes(); ++m) {
+    factors.emplace_back(backend.dim(m), 4);
+    factors.back().fill_uniform(rng, 0.1, 1.0);
+  }
+  for (int mode = 0; mode < backend.num_modes(); ++mode) {
+    Matrix got(backend.dim(mode), 4), want(backend.dim(mode), 4);
+    backend.mttkrp(dev, factors, mode, got);
+    EXPECT_EQ(backend.last_scatter_strategy(), ScatterStrategy::kSorted);
+    reference.mttkrp(ref_dev, factors, mode, want);
+    EXPECT_LT(max_abs_diff(got, want), 1e-10) << "mode " << mode;
+    // Second call reuses the cached plan and must agree exactly.
+    Matrix again(backend.dim(mode), 4);
+    backend.mttkrp(dev, factors, mode, again);
+    EXPECT_DOUBLE_EQ(max_abs_diff(got, again), 0.0) << "mode " << mode;
+  }
+}
+
 TEST(Auntf, PerModeMixedConstraints) {
   // Non-negativity on modes 0-1, a probability simplex on mode 2 — the
   // topic-model-style mixed-constraint configuration.

@@ -2,6 +2,7 @@
 // reference on every mode, across shapes, ranks, and formats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "formats/alto.hpp"
@@ -264,6 +265,254 @@ TEST(Mttkrp, StreamedChargesHostLinkTraffic) {
   EXPECT_NEAR(stats.host_link_bytes, expected, 1.0);
   const auto t_model = simgpu::model_time(stats, dev.spec());
   EXPECT_GT(t_model.link_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive scatter engine (mttkrp/scatter.hpp)
+// ---------------------------------------------------------------------------
+
+ScatterOptions explicit_strategy(ScatterStrategy s) {
+  ScatterOptions opts;
+  opts.strategy = s;
+  return opts;
+}
+
+class ScatterStrategySweep
+    : public ::testing::TestWithParam<ScatterStrategy> {};
+
+TEST_P(ScatterStrategySweep, AllEnginesMatchReferenceOnEveryMode) {
+  // Mixed mode lengths: 19 is the privatized sweet spot, 401 exercises the
+  // segment sweep over many rows.
+  const SparseTensor t = random_tensor({19, 57, 401}, 4000, 91);
+  const auto factors = random_factors(t, 16, 92);
+  const AltoTensor alto(t);
+  const BlcoTensor blco(t, 256);
+  simgpu::Device dev(simgpu::a100());
+  const ScatterOptions opts = explicit_strategy(GetParam());
+  for (int mode = 0; mode < t.num_modes(); ++mode) {
+    Matrix want(t.dim(mode), 16);
+    mttkrp_ref(t, factors, mode, want);
+    Matrix got_coo(t.dim(mode), 16), got_alto(t.dim(mode), 16),
+        got_blco(t.dim(mode), 16);
+    EXPECT_EQ(mttkrp_coo(t, factors, mode, got_coo, opts), GetParam());
+    EXPECT_EQ(mttkrp_alto(alto, factors, mode, got_alto, opts), GetParam());
+    EXPECT_EQ(mttkrp_blco(dev, blco, factors, mode, got_blco, opts),
+              GetParam());
+    EXPECT_LT(max_abs_diff(got_coo, want), 1e-10) << "coo mode " << mode;
+    EXPECT_LT(max_abs_diff(got_alto, want), 1e-10) << "alto mode " << mode;
+    EXPECT_LT(max_abs_diff(got_blco, want), 1e-10) << "blco mode " << mode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ScatterStrategySweep,
+                         ::testing::Values(ScatterStrategy::kAtomic,
+                                           ScatterStrategy::kPrivatized,
+                                           ScatterStrategy::kSorted),
+                         [](const auto& info) {
+                           return scatter_strategy_name(info.param);
+                         });
+
+TEST(Scatter, CachedPlanMatchesOneShotBuild) {
+  const SparseTensor t = random_tensor({23, 31, 17}, 2000, 95);
+  const auto factors = random_factors(t, 8, 96);
+  const ScatterOptions opts = explicit_strategy(ScatterStrategy::kSorted);
+  for (int mode = 0; mode < t.num_modes(); ++mode) {
+    const ScatterPlan plan = coo_scatter_plan(t, mode);
+    Matrix one_shot(t.dim(mode), 8), cached(t.dim(mode), 8);
+    mttkrp_coo(t, factors, mode, one_shot, opts);  // builds its own plan
+    mttkrp_coo(t, factors, mode, cached, opts, &plan);
+    EXPECT_DOUBLE_EQ(max_abs_diff(one_shot, cached), 0.0) << "mode " << mode;
+  }
+}
+
+TEST(Scatter, PlanSegmentsPartitionNonzerosByRow) {
+  const SparseTensor t = random_tensor({13, 40, 40}, 1500, 97);
+  const ScatterPlan plan = coo_scatter_plan(t, 0);
+  const auto& rows = t.indices(0);
+  ASSERT_EQ(static_cast<index_t>(plan.order.size()), t.nnz());
+  ASSERT_EQ(plan.seg_ptr.size(), plan.seg_row.size() + 1);
+  EXPECT_EQ(plan.seg_ptr.front(), 0);
+  EXPECT_EQ(plan.seg_ptr.back(), t.nnz());
+  for (index_t s = 0; s < plan.num_segments(); ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    ASSERT_LT(plan.seg_ptr[su], plan.seg_ptr[su + 1]);  // no empty segments
+    if (s > 0) ASSERT_LT(plan.seg_row[su - 1], plan.seg_row[su]);
+    for (index_t k = plan.seg_ptr[su]; k < plan.seg_ptr[su + 1]; ++k) {
+      const index_t i = plan.order[static_cast<std::size_t>(k)];
+      ASSERT_EQ(rows[static_cast<std::size_t>(i)], plan.seg_row[su]);
+      // Stability: ids ascend within a segment.
+      if (k > plan.seg_ptr[su]) {
+        ASSERT_LT(plan.order[static_cast<std::size_t>(k - 1)], i);
+      }
+    }
+  }
+}
+
+TEST(Scatter, PlanHandlesAllNonzerosInOneRow) {
+  SparseTensor t({3, 64});
+  for (index_t j = 0; j < 64; ++j) t.append({1, j}, 1.0);
+  const ScatterPlan plan = coo_scatter_plan(t, 0);
+  ASSERT_EQ(plan.num_segments(), 1);
+  EXPECT_EQ(plan.seg_row[0], 1);
+  EXPECT_EQ(plan.seg_ptr[0], 0);
+  EXPECT_EQ(plan.seg_ptr[1], 64);
+}
+
+TEST(Scatter, SortedPathIsBitIdenticalToReference) {
+  // The plan's per-row order is ascending nonzero id — the same accumulation
+  // order the sequential reference uses — so the sorted path is not just
+  // close to the reference, it is the reference, bit for bit.
+  const SparseTensor t = random_tensor({29, 37, 21}, 3000, 99);
+  const auto factors = random_factors(t, 16, 100);
+  const ScatterOptions opts = explicit_strategy(ScatterStrategy::kSorted);
+  for (int mode = 0; mode < t.num_modes(); ++mode) {
+    Matrix want(t.dim(mode), 16), got(t.dim(mode), 16);
+    mttkrp_ref(t, factors, mode, want);
+    mttkrp_coo(t, factors, mode, got, opts);
+    EXPECT_DOUBLE_EQ(max_abs_diff(got, want), 0.0) << "mode " << mode;
+  }
+}
+
+TEST(Scatter, DeterministicRunsAreBitIdentical) {
+  const SparseTensor t = random_tensor({31, 47, 300}, 5000, 101);
+  const auto factors = random_factors(t, 16, 102);
+  for (ScatterStrategy strategy :
+       {ScatterStrategy::kPrivatized, ScatterStrategy::kSorted}) {
+    ScatterOptions opts = explicit_strategy(strategy);
+    opts.deterministic = true;
+    for (int mode = 0; mode < t.num_modes(); ++mode) {
+      Matrix a(t.dim(mode), 16), b(t.dim(mode), 16);
+      mttkrp_coo(t, factors, mode, a, opts);
+      mttkrp_coo(t, factors, mode, b, opts);
+      EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0)
+          << scatter_strategy_name(strategy) << " mode " << mode;
+    }
+  }
+}
+
+TEST(Scatter, ResolutionRespectsBudgetDeterminismAndContention) {
+  ScatterOptions opts;  // kAuto
+  // Short mode, tiles fit the default 64 MB budget -> privatized.
+  EXPECT_EQ(resolve_scatter_strategy(opts, 512, 32, 100000),
+            ScatterStrategy::kPrivatized);
+  // Shrink the budget below one tile -> falls through; with ~195 updates
+  // per row the contention proxy picks sorted.
+  opts.privatization_budget_bytes = 1024.0;
+  EXPECT_EQ(resolve_scatter_strategy(opts, 512, 32, 100000),
+            ScatterStrategy::kSorted);
+  // Long sparse mode over budget, low updates-per-row -> atomic...
+  EXPECT_EQ(resolve_scatter_strategy(opts, 1 << 20, 32, 100000),
+            ScatterStrategy::kAtomic);
+  // ...unless determinism forbids atomics.
+  opts.deterministic = true;
+  EXPECT_EQ(resolve_scatter_strategy(opts, 1 << 20, 32, 100000),
+            ScatterStrategy::kSorted);
+  // An explicit atomic request under determinism is re-resolved...
+  opts.strategy = ScatterStrategy::kAtomic;
+  EXPECT_NE(resolve_scatter_strategy(opts, 1 << 20, 32, 100000),
+            ScatterStrategy::kAtomic);
+  // ...but other explicit requests pass through.
+  opts.strategy = ScatterStrategy::kPrivatized;
+  EXPECT_EQ(resolve_scatter_strategy(opts, 1 << 20, 32, 100000),
+            ScatterStrategy::kPrivatized);
+}
+
+TEST(Scatter, StrategyNamesRoundTrip) {
+  for (ScatterStrategy s :
+       {ScatterStrategy::kAuto, ScatterStrategy::kAtomic,
+        ScatterStrategy::kPrivatized, ScatterStrategy::kSorted}) {
+    ScatterStrategy parsed;
+    ASSERT_TRUE(parse_scatter_strategy(scatter_strategy_name(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  ScatterStrategy untouched = ScatterStrategy::kSorted;
+  EXPECT_FALSE(parse_scatter_strategy("bogus", &untouched));
+  EXPECT_EQ(untouched, ScatterStrategy::kSorted);
+}
+
+TEST(Scatter, ApplyStatsMetersAtomicOpsAgainstOutputSlots) {
+  simgpu::KernelStats stats;
+  apply_scatter_stats(stats, ScatterStrategy::kAtomic, /*mode_len=*/100,
+                      /*rank=*/8, /*nnz=*/5000.0);
+  EXPECT_DOUBLE_EQ(stats.atomic_ops, 5000.0 * 8.0);
+  EXPECT_DOUBLE_EQ(stats.atomic_slots, 100.0 * 8.0);
+
+  simgpu::KernelStats priv;
+  apply_scatter_stats(priv, ScatterStrategy::kPrivatized, 100, 8, 5000.0);
+  EXPECT_DOUBLE_EQ(priv.atomic_ops, 0.0);
+  EXPECT_GT(priv.bytes_streamed, 0.0);  // tile zero/accumulate/reduce traffic
+  EXPECT_GT(priv.flops, 0.0);           // the tree combine
+
+  simgpu::KernelStats sorted;
+  apply_scatter_stats(sorted, ScatterStrategy::kSorted, 100, 8, 5000.0);
+  EXPECT_DOUBLE_EQ(sorted.atomic_ops, 0.0);
+  EXPECT_DOUBLE_EQ(sorted.bytes_streamed, 5000.0 * sizeof(index_t));
+}
+
+TEST(Scatter, CostModelRanksAtomicVsPrivatizedWithContention) {
+  // Hand-computable collision regimes (A100, R=32, 1e6 updates-per-call):
+  //  * mode 512: 16384 output words; saturated lanes collide constantly, the
+  //    contention factor is 1 + (lanes-1)/16384 >> 1 and atomic loses to the
+  //    privatized tiles' streamed traffic;
+  //  * mode 2^24: 5.4e8 output words; the factor is ~1.0004, while the
+  //    privatized tiles must stream/reduce 13x the (huge) output — atomic
+  //    wins.
+  const simgpu::DeviceSpec spec = simgpu::a100();
+  const index_t rank = 32;
+  const double nnz = 1e6;
+  auto scatter_cost = [&](ScatterStrategy s, index_t mode_len) {
+    simgpu::KernelStats stats;
+    stats.parallel_items = nnz;
+    apply_scatter_stats(stats, s, mode_len, rank, nnz);
+    return simgpu::model_time(stats, spec).total_s;
+  };
+  EXPECT_LT(scatter_cost(ScatterStrategy::kPrivatized, 512),
+            scatter_cost(ScatterStrategy::kAtomic, 512));
+  EXPECT_LT(scatter_cost(ScatterStrategy::kAtomic, 1 << 24),
+            scatter_cost(ScatterStrategy::kPrivatized, 1 << 24));
+
+  // The contention factor itself, on hand-picked numbers: saturated lanes
+  // over 16384 slots.
+  const double lanes = std::min(nnz, spec.saturation_parallelism);
+  const simgpu::KernelStats atomic_short = [&] {
+    simgpu::KernelStats s;
+    s.parallel_items = nnz;
+    apply_scatter_stats(s, ScatterStrategy::kAtomic, 512, rank, nnz);
+    return s;
+  }();
+  const double expected =
+      atomic_short.atomic_ops *
+      (1.0 + (lanes - 1.0) / atomic_short.atomic_slots) / spec.atomic_rate;
+  EXPECT_NEAR(simgpu::model_time(atomic_short, spec).atomic_s, expected,
+              1e-12 * expected);
+}
+
+// Regression (scatter-engine audit): the per-nonzero Khatri-Rao row lives in
+// reusable thread_local scratch; every contribution must fully re-seed it.
+// A nonzero whose factor rows are all zero would expose any stale values
+// left by the previous nonzero handled on the same thread.
+TEST(Scatter, ZeroFactorRowDoesNotLeakStaleScratch) {
+  SparseTensor t({1, 3});
+  t.append({0, 0}, 5.0);  // contributes 5 * B(0,:)
+  t.append({0, 1}, 7.0);  // B(1,:) = 0 -> contributes exactly nothing
+  t.append({0, 2}, 3.0);  // contributes 3 * B(2,:)
+  Matrix a(1, 2), b(3, 2);
+  b(0, 0) = 1.0;
+  b(0, 1) = 2.0;
+  b(1, 0) = 0.0;
+  b(1, 1) = 0.0;
+  b(2, 0) = 4.0;
+  b(2, 1) = 0.5;
+  for (ScatterStrategy strategy :
+       {ScatterStrategy::kAtomic, ScatterStrategy::kPrivatized,
+        ScatterStrategy::kSorted}) {
+    Matrix out(1, 2);
+    mttkrp_coo(t, {a, b}, 0, out, explicit_strategy(strategy));
+    EXPECT_DOUBLE_EQ(out(0, 0), 5.0 * 1.0 + 3.0 * 4.0)
+        << scatter_strategy_name(strategy);
+    EXPECT_DOUBLE_EQ(out(0, 1), 5.0 * 2.0 + 3.0 * 0.5)
+        << scatter_strategy_name(strategy);
+  }
 }
 
 TEST(Mttkrp, DatasetAnalogAllFormatsAgree) {

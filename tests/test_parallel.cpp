@@ -14,6 +14,7 @@
 #include "parallel/atomic.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
+#include "parallel/scratch_pool.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace cstf {
@@ -189,6 +190,130 @@ TEST(AtomicAdd, NoLostUpdatesUnderContention) {
 TEST(GlobalPool, ExistsAndHasAtLeastOneThread) {
   EXPECT_GE(global_thread_count(), 1u);
   EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+TEST(ParallelFor, ChunkCountOversubscribesAndRespectsGrain) {
+  using detail::parallel_chunk_count;
+  // 4x the worker count when the range is large enough...
+  EXPECT_EQ(parallel_chunk_count(100000, 4, 1024), 16);
+  EXPECT_EQ(parallel_chunk_count(100, 4, 1), 16);
+  // ...but never chunks smaller than the grain...
+  EXPECT_EQ(parallel_chunk_count(2048, 4, 1024), 2);
+  EXPECT_EQ(parallel_chunk_count(10, 4, 1024), 1);
+  // ...and always at least one chunk.
+  EXPECT_EQ(parallel_chunk_count(0, 4, 1024), 1);
+}
+
+// Regression for the static one-chunk-per-worker split: the range must be
+// cut into ~4x more chunks than workers (claimed dynamically), so skewed
+// work clustered in one contiguous stretch is spread over several chunks
+// instead of serializing on the single worker that owned the stretch.
+TEST(ParallelForBlocked, DynamicChunksOversubscribeWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> blocks{0};
+  std::atomic<index_t> covered{0};
+  constexpr index_t n = 1 << 16;
+  parallel_for_blocked(
+      pool, 0, n,
+      [&](index_t lo, index_t hi) {
+        ASSERT_LT(lo, hi);
+        blocks.fetch_add(1);
+        covered.fetch_add(hi - lo);
+        EXPECT_LE(hi - lo, n / 16);  // nothing bigger than the 4x split
+      },
+      /*grain=*/16);
+  EXPECT_EQ(covered.load(), n);
+  EXPECT_EQ(blocks.load(), 16);
+}
+
+TEST(ParallelFor, SkewedWorkloadStillCoversRangeExactlyOnce) {
+  // Heavy items clustered at the front of the range (the hot-row pattern of
+  // skewed sparse tensors) must not break coverage under dynamic claiming.
+  ThreadPool pool(4);
+  constexpr index_t n = 20000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(
+      pool, 0, n,
+      [&](index_t i) {
+        if (i < n / 16) {
+          volatile double sink = 0.0;
+          for (int k = 0; k < 200; ++k) sink += static_cast<double>(k);
+        }
+        hits[i].fetch_add(1);
+      },
+      /*grain=*/64);
+  for (index_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ScratchPool, LeaseHandsOutDistinctBuffersAndRecycles) {
+  ScratchPool pool;
+  {
+    ScratchPool::Lease lease = pool.acquire(3, 128);
+    ASSERT_EQ(lease.count(), 3u);
+    // Distinct, writable buffers.
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = i + 1; j < 3; ++j) {
+        EXPECT_NE(lease.tile(i), lease.tile(j));
+      }
+      lease.tile(i)[0] = static_cast<real_t>(i);
+      lease.tile(i)[127] = 1.0;
+    }
+    EXPECT_EQ(pool.idle_buffers(), 0u);
+  }
+  // Returned on lease destruction, recycled by the next acquire.
+  EXPECT_EQ(pool.idle_buffers(), 3u);
+  ScratchPool::Lease again = pool.acquire(2, 64);
+  EXPECT_EQ(again.count(), 2u);
+  EXPECT_EQ(pool.idle_buffers(), 1u);
+}
+
+TEST(ScratchPool, RecyclesLargestBuffersFirst) {
+  ScratchPool pool;
+  {
+    ScratchPool::Lease small = pool.acquire(1, 10);
+    ScratchPool::Lease large = pool.acquire(1, 1000);
+  }
+  EXPECT_EQ(pool.idle_buffers(), 2u);
+  // A request that fits the big buffer must get it (no reallocation), so a
+  // subsequent larger request only grows the high-water-mark buffer.
+  {
+    ScratchPool::Lease lease = pool.acquire(1, 500);
+    lease.tile(0)[999] = 1.0;  // big buffer capacity; ASan would catch misuse
+  }
+  pool.trim();
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+}
+
+TEST(ScratchPool, ZeroCountLeaseIsSafe) {
+  ScratchPool pool;
+  ScratchPool::Lease lease = pool.acquire(0, 64);
+  EXPECT_EQ(lease.count(), 0u);
+}
+
+TEST(DeterministicTreeReduce, MatchesSerialSumAndIsExactlyReproducible) {
+  constexpr index_t len = 3000;
+  constexpr std::size_t tiles = 7;
+  Rng rng(17);
+  std::vector<std::vector<real_t>> data(tiles, std::vector<real_t>(len));
+  for (auto& tile : data) {
+    for (auto& v : tile) v = rng.uniform(-1.0, 1.0);
+  }
+  auto reduce_once = [&]() {
+    std::vector<std::vector<real_t>> work = data;
+    std::vector<real_t*> ptrs;
+    for (auto& tile : work) ptrs.push_back(tile.data());
+    deterministic_tree_reduce(ptrs.data(), tiles, len);
+    return work[0];
+  };
+  const std::vector<real_t> first = reduce_once();
+  // Bit-identical across repeats (fixed pairwise tree, no atomics).
+  EXPECT_EQ(reduce_once(), first);
+  // And numerically the sum of all tiles.
+  for (index_t i = 0; i < len; i += 101) {
+    real_t want = 0.0;
+    for (const auto& tile : data) want += tile[static_cast<std::size_t>(i)];
+    EXPECT_NEAR(first[static_cast<std::size_t>(i)], want, 1e-12);
+  }
 }
 
 class ParallelForThreadCounts : public ::testing::TestWithParam<int> {};

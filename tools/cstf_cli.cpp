@@ -11,6 +11,10 @@
 //   --constraint C      nonneg | none | l1:<w> | l1nn:<w> | box:<lo>,<hi> |
 //                       simplex | smooth:<w> (default nonneg)
 //   --device D          a100 | h100 | xeon (cost-model target, default a100)
+//   --scatter S         auto | atomic | privatized | sorted — MTTKRP output
+//                       accumulation strategy (default auto; see DESIGN.md §8)
+//   --deterministic     force atomic-free scatter: repeated runs with the
+//                       same seed produce bit-identical factors
 //   --seed N            RNG seed for the factor initialization (default 42)
 //   --output PREFIX     write factors to PREFIX.mode<k>.txt and lambda to
 //                       PREFIX.lambda.txt
@@ -44,7 +48,9 @@ using namespace cstf;
                "                [--tol X] [--scheme cuadmm|admm|mu|hals|als]\n"
                "                [--constraint nonneg|none|l1:W|l1nn:W|"
                "box:LO,HI|simplex|smooth:W]\n"
-               "                [--device a100|h100|xeon] [--seed N]"
+               "                [--device a100|h100|xeon]"
+               " [--scatter auto|atomic|privatized|sorted]\n"
+               "                [--deterministic] [--seed N]"
                " [--output PREFIX]\n"
                "                [--profile] [--trace FILE]\n");
   std::exit(2);
@@ -124,6 +130,13 @@ int main(int argc, char** argv) {
     else if (arg == "--scheme") options.scheme = parse_scheme(value());
     else if (arg == "--constraint") options.prox = parse_constraint(value());
     else if (arg == "--device") options.device = parse_device(value());
+    else if (arg == "--scatter") {
+      const std::string spec = value();
+      if (!parse_scatter_strategy(spec, &options.scatter.strategy)) {
+        usage(("unknown scatter strategy: " + spec).c_str());
+      }
+    }
+    else if (arg == "--deterministic") options.scatter.deterministic = true;
     else if (arg == "--seed") options.seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--output") output = value();
     else if (arg == "--checkpoint") checkpoint = value();
@@ -141,10 +154,12 @@ int main(int argc, char** argv) {
     const SparseTensor tensor =
         input.empty() ? make_analog(dataset).tensor : read_tns_file(input);
     std::printf("tensor: %s\n", tensor.shape_string().c_str());
-    std::printf("constraint: %s, rank %lld, device %s\n",
+    std::printf("constraint: %s, rank %lld, device %s, scatter %s%s\n",
                 options.prox.name().c_str(),
                 static_cast<long long>(options.rank),
-                options.device.name.c_str());
+                options.device.name.c_str(),
+                scatter_strategy_name(options.scatter.strategy),
+                options.scatter.deterministic ? " (deterministic)" : "");
 
     CstfFramework framework(tensor, options);
     simgpu::Tracer tracer;
