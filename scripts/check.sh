@@ -6,8 +6,12 @@
 # After the plain pass, a perf-smoke step runs the scatter-engine fixtures
 # (bench_host_wallclock --smoke): it fails if the privatized strategy is
 # slower than atomic scatter on the short-mode fixture, and validates the
-# emitted JSON telemetry. CSTF_CHECK_SKIP_PERF=1 skips it (e.g. on loaded CI
-# machines where wall-clock comparisons are unreliable).
+# emitted JSON telemetry. A serve-smoke step then runs the serve-labeled
+# ctest group, a full save/load/serve workload through cstf_serve, and the
+# fold-in throughput bench (batched + pre-inverted must beat per-request
+# ADMM on modeled and host clocks at batch >= 8). CSTF_CHECK_SKIP_PERF=1
+# skips both (e.g. on loaded CI machines where wall-clock comparisons are
+# unreliable).
 #
 # Knobs (env vars): CSTF_CHECK_SKIP_SANITIZE=1 skips the second pass (useful
 # on toolchains without sanitizer runtimes), CSTF_CHECK_SKIP_PERF=1,
@@ -28,6 +32,21 @@ else
   CSTF_BENCH_JSON=1 CSTF_BENCH_JSON_DIR=results/json \
     ./build/bench/bench_host_wallclock --smoke
   ./build/tools/cstf_json_check results/json/BENCH_host_wallclock.json
+
+  echo "=== serve smoke: save/load round trip + mixed query/fold-in workload"
+  # The serve-labeled ctest group (unit suite + CLI smoke) plus an end-to-end
+  # workload with telemetry; cstf_serve exits nonzero if any request fails,
+  # latencies are non-finite, or a fold-in row violates its constraint.
+  ctest --test-dir build -L serve --output-on-failure
+  mkdir -p results
+  ./build/tools/cstf_serve --dataset Uber --rank 4 --iters 2 --requests 100 \
+    --clients 4 --save results/check_serve_model.cstf \
+    --json results/check_serve_telemetry.json
+  # Batched + pre-inverted must beat per-request ADMM on both clocks at B>=8
+  # (bit-identical rows, verified inside the bench).
+  CSTF_BENCH_JSON=1 CSTF_BENCH_JSON_DIR=results/json \
+    ./build/bench/bench_serve_throughput
+  ./build/tools/cstf_json_check results/json/BENCH_serve_throughput.json
 fi
 
 if [ "${CSTF_CHECK_SKIP_SANITIZE:-0}" = "1" ]; then

@@ -80,6 +80,12 @@ inline constexpr const char* kGram = "GRAM";
 inline constexpr const char* kMttkrp = "MTTKRP";
 inline constexpr const char* kUpdate = "UPDATE";
 inline constexpr const char* kNormalize = "NORMALIZE";
+
+// Serving-layer phases (src/serve): batched entry/top-k queries and the
+// constrained fold-in solves, so serve traffic is separable from
+// factorization work in traces and telemetry.
+inline constexpr const char* kServeQuery = "SERVE_QUERY";
+inline constexpr const char* kServeFoldIn = "SERVE_FOLDIN";
 }  // namespace phase
 
 }  // namespace cstf

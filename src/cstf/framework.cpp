@@ -52,7 +52,14 @@ CstfFramework::CstfFramework(const SparseTensor& tensor,
   driver_ = std::make_unique<Auntf>(device_, backend_, *update_, auntf);
 }
 
-AuntfResult CstfFramework::run() { return driver_->run(); }
+AuntfResult CstfFramework::run() {
+  AuntfResult result = driver_->run();
+  // Exit-path sanity: a NaN that slipped into a factor (bad input data, a
+  // broken kernel) would otherwise silently poison fit numbers and any model
+  // saved for serving.
+  driver_->ktensor().validate();
+  return result;
+}
 
 double CstfFramework::device_footprint_bytes() const {
   const double rank = static_cast<double>(options_.rank);

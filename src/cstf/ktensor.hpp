@@ -23,6 +23,20 @@ struct KTensor {
   /// Model value at one coordinate: sum_r lambda_r * prod_m H^(m)(i_m, r).
   real_t value_at(const index_t* coords) const;
 
+  /// Structural + numerical sanity check: at least one mode, every factor
+  /// has rank() columns and a positive row count, lambda has rank() entries,
+  /// and every stored value (factors and lambda) is finite. Throws
+  /// cstf::Error naming the offending mode otherwise. Called on the
+  /// framework exit path and on every model load, so a corrupt factor fails
+  /// loudly instead of propagating NaNs into fit/serving computations.
+  void validate() const;
+
+  /// <X, X_hat> over the nonzeros of `x` (X is zero elsewhere), parallel-
+  /// reduced deterministically for a fixed thread count. Shared by fit_to()
+  /// and sampled_fit() so the estimator's sample_size >= nnz branch is
+  /// bit-identical to the exact fit.
+  real_t inner_product_with(const SparseTensor& x) const;
+
   /// ||X_hat||_F^2 computed in O(N R^2 + sum I_m R) via the Gram identity:
   /// sum_{r,s} lambda_r lambda_s prod_m <h_r^m, h_s^m>.
   real_t norm_sq() const;

@@ -17,12 +17,9 @@ real_t sampled_fit(const KTensor& model, const SparseTensor& x,
   index_t coords[kMaxModes];
   real_t inner = 0.0;
   if (options.sample_size >= nnz) {
-    for (index_t i = 0; i < nnz; ++i) {
-      for (int m = 0; m < x.num_modes(); ++m) {
-        coords[m] = x.indices(m)[static_cast<std::size_t>(i)];
-      }
-      inner += x.values()[static_cast<std::size_t>(i)] * model.value_at(coords);
-    }
+    // Same reduction as the exact fit, so the degenerate case is
+    // bit-identical to fit_to() (tested).
+    inner = model.inner_product_with(x);
   } else {
     Rng rng(options.seed);
     for (index_t s = 0; s < options.sample_size; ++s) {

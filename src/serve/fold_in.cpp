@@ -1,0 +1,302 @@
+#include "serve/fold_in.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "la/cholesky.hpp"
+#include "parallel/parallel_for.hpp"
+#include "simgpu/dblas.hpp"
+
+namespace cstf::serve {
+
+void FoldInEngine::check_request(const ServableModel& model,
+                                 const FoldInRequest& req) const {
+  const int modes = model.num_modes();
+  CSTF_CHECK_MSG(req.mode >= 0 && req.mode < modes,
+                 "fold-in: bad mode " << req.mode);
+  CSTF_CHECK_MSG(modes >= 2, "fold-in needs at least two modes");
+  const auto width = static_cast<std::size_t>(modes - 1);
+  CSTF_CHECK_MSG(!req.values.empty(), "fold-in: request has no observations");
+  CSTF_CHECK_MSG(req.coords.size() == req.values.size() * width,
+                 "fold-in: coords/values size mismatch");
+  std::size_t pos = 0;
+  for (std::size_t j = 0; j < req.values.size(); ++j) {
+    for (int m = 0; m < modes; ++m) {
+      if (m == req.mode) continue;
+      const index_t idx = req.coords[pos++];
+      CSTF_CHECK_MSG(idx >= 0 && idx < model.mode_size(m),
+                     "fold-in: coordinate " << idx << " out of range for mode "
+                                            << m);
+    }
+  }
+}
+
+FoldInResult FoldInEngine::fold_in(const ServableModel& model,
+                                   const FoldInRequest& req) {
+  std::vector<FoldInResult> results = fold_in_batch(model, {req});
+  return std::move(results.front());
+}
+
+std::vector<FoldInResult> FoldInEngine::fold_in_batch(
+    const ServableModel& model, const std::vector<FoldInRequest>& reqs) {
+  CSTF_CHECK_MSG(!reqs.empty(), "fold-in: empty batch");
+  const int mode = reqs.front().mode;
+  for (const FoldInRequest& req : reqs) {
+    CSTF_CHECK_MSG(req.mode == mode,
+                   "fold-in: batch mixes modes " << mode << " and "
+                                                 << req.mode);
+    check_request(model, req);
+  }
+
+  const int modes = model.num_modes();
+  const index_t rank = model.rank();
+  const auto batch = static_cast<index_t>(reqs.size());
+  const KTensor& kt = model.model();
+
+  Timer timer;
+  std::vector<FoldInResult> results(reqs.size());
+  AdmmDiagnostics diagnostics;
+  {
+    std::lock_guard<std::mutex> submit(runtime_.submit_mu);
+    simgpu::ScopedPhase scope(runtime_.device.tracer(), phase::kServeFoldIn);
+
+    // Right-hand sides: row b of M is sum_j value_j * lambda .* (hadamard of
+    // the other modes' rows at coordinate j) — the sparse-MTTKRP of the new
+    // slice, one fused gather pass per request.
+    Matrix m(batch, rank);
+    double nnz_total = 0.0;
+    for (const FoldInRequest& req : reqs) {
+      nnz_total += static_cast<double>(req.values.size());
+    }
+    Timer rhs_timer;
+    parallel_for(
+        runtime_.pool, 0, batch,
+        [&](index_t b) {
+          const FoldInRequest& req = reqs[static_cast<std::size_t>(b)];
+          const auto width = static_cast<std::size_t>(modes - 1);
+          for (std::size_t j = 0; j < req.values.size(); ++j) {
+            const index_t* c = req.coords.data() + j * width;
+            const real_t v = req.values[j];
+            for (index_t r = 0; r < rank; ++r) {
+              real_t term = v * kt.lambda[static_cast<std::size_t>(r)];
+              std::size_t pos = 0;
+              for (int n = 0; n < modes; ++n) {
+                if (n == mode) continue;
+                term *= kt.factors[static_cast<std::size_t>(n)](c[pos++], r);
+              }
+              m(b, r) += term;
+            }
+          }
+        },
+        /*grain=*/1);
+    {
+      simgpu::KernelStats stats;
+      const double nmodes = static_cast<double>(modes);
+      const double nrank = static_cast<double>(rank);
+      stats.flops = nnz_total * nrank * (nmodes + 1.0);
+      stats.bytes_random = nnz_total * (nmodes - 1.0) * nrank * simgpu::kWord;
+      stats.bytes_streamed =
+          (nnz_total * nmodes +
+           static_cast<double>(batch) * nrank) *
+          simgpu::kWord;
+      stats.parallel_items = static_cast<double>(batch);
+      stats.launches = 1;
+      runtime_.device.record("serve_foldin_rhs", stats, rhs_timer.seconds());
+    }
+
+    // The Gram system: cached pre-factorized (one Cholesky per published
+    // snapshot, amortized over every request) or rebuilt per call through
+    // the metered solver — the baseline the serving bench measures against.
+    AdmmGram rebuilt;
+    const AdmmGram* gram = nullptr;
+    if (options_.use_cached_gram) {
+      CSTF_CHECK_MSG(
+          model.preinverted() == options_.preinversion,
+          "fold-in: snapshot Gram cache pre-inversion does not match options");
+      gram = &model.fold_in_gram(mode);
+    } else {
+      const Matrix& s = model.fold_in_system(mode);
+      for (index_t r = 0; r < rank; ++r) rebuilt.rho += s(r, r);
+      rebuilt.rho /= static_cast<real_t>(rank);
+      if (rebuilt.rho <= 0.0) rebuilt.rho = 1.0;
+      Matrix s_loaded = s;
+      la::add_diagonal(s_loaded, rebuilt.rho);
+      simgpu::dpotrf(runtime_.device, s_loaded, rebuilt.l);
+      if (options_.preinversion) {
+        simgpu::dpotri(runtime_.device, rebuilt.l, rebuilt.inverse);
+      }
+      gram = &rebuilt;
+    }
+
+    AdmmOptions admm_options;
+    admm_options.prox = model.meta().prox();
+    admm_options.inner_iterations = options_.inner_iterations;
+    admm_options.tolerance = 0.0;  // fixed iterations: batch rows stay
+                                   // bit-identical to single-row solves
+    admm_options.operation_fusion = true;
+    admm_options.preinversion = options_.preinversion;
+    AdmmUpdate admm(admm_options);
+
+    Matrix h(batch, rank);
+    ModeState state;  // cold start: fresh dual per batch, deterministic
+    admm.update_with_gram(runtime_.device, *gram, m, h, state);
+    diagnostics = admm.last();
+
+    for (index_t b = 0; b < batch; ++b) {
+      FoldInResult& result = results[static_cast<std::size_t>(b)];
+      result.row.resize(static_cast<std::size_t>(rank));
+      for (index_t r = 0; r < rank; ++r) {
+        result.row[static_cast<std::size_t>(r)] = h(b, r);
+      }
+      result.diagnostics = diagnostics;
+      result.generation = model.generation();
+    }
+  }
+  latency_.record(timer.seconds());
+  return results;
+}
+
+FoldInBatcher::FoldInBatcher(FoldInEngine& engine, ModelStore& store,
+                             std::string model_name, Options options)
+    : engine_(engine), store_(store), model_name_(std::move(model_name)),
+      options_(options) {
+  CSTF_CHECK_MSG(options_.max_batch > 0, "fold-in batcher: max_batch == 0");
+  if (options_.background) {
+    collector_ = std::thread([this] { collector_loop(); });
+  }
+}
+
+FoldInBatcher::FoldInBatcher(FoldInEngine& engine, ModelStore& store,
+                             std::string model_name)
+    : FoldInBatcher(engine, store, std::move(model_name), Options()) {}
+
+FoldInBatcher::~FoldInBatcher() { stop(); }
+
+std::future<FoldInResult> FoldInBatcher::submit(FoldInRequest req) {
+  Pending pending;
+  pending.request = std::move(req);
+  pending.enqueue_s = epoch_.seconds();
+  std::future<FoldInResult> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CSTF_CHECK_MSG(!stopping_, "fold-in batcher: submit after stop");
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+std::size_t FoldInBatcher::flush() {
+  std::size_t served = 0;
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::size_t take = std::min(options_.max_batch, queue_.size());
+      if (take == 0) break;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_[i]));
+      }
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    served += drain_and_solve(std::move(batch));
+  }
+  return served;
+}
+
+void FoldInBatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped; nothing queued can remain after the first stop.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (collector_.joinable()) collector_.join();
+  std::vector<Pending> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphaned.swap(queue_);
+  }
+  for (Pending& p : orphaned) {
+    p.promise.set_exception(std::make_exception_ptr(
+        Error("fold-in batcher stopped before serving the request")));
+  }
+}
+
+void FoldInBatcher::collector_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    // Linger: give concurrent submitters a window to join this batch.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.max_linger_s));
+    cv_.wait_until(lock, deadline, [this] {
+      return stopping_ || queue_.size() >= options_.max_batch;
+    });
+    if (stopping_) return;
+    std::vector<Pending> batch;
+    const std::size_t take = std::min(options_.max_batch, queue_.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_[i]));
+    }
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    lock.unlock();
+    drain_and_solve(std::move(batch));
+    lock.lock();
+  }
+}
+
+std::size_t FoldInBatcher::drain_and_solve(std::vector<Pending> batch) {
+  if (batch.empty()) return 0;
+  ServableModelPtr model = store_.get(model_name_);
+  if (model == nullptr) {
+    for (Pending& p : batch) {
+      p.promise.set_exception(std::make_exception_ptr(
+          Error("fold-in batcher: model '" + model_name_ +
+                "' is not in the store")));
+    }
+    return 0;
+  }
+
+  // Group by mode: each group becomes one fused solve.
+  std::map<int, std::vector<std::size_t>> by_mode;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    by_mode[batch[i].request.mode].push_back(i);
+  }
+  std::size_t served = 0;
+  for (const auto& [mode, indices] : by_mode) {
+    std::vector<FoldInRequest> group;
+    group.reserve(indices.size());
+    for (std::size_t i : indices) group.push_back(batch[i].request);
+    try {
+      std::vector<FoldInResult> results =
+          engine_.fold_in_batch(*model, group);
+      const double done_s = epoch_.seconds();
+      for (std::size_t g = 0; g < indices.size(); ++g) {
+        Pending& p = batch[indices[g]];
+        latency_.record(done_s - p.enqueue_s);
+        p.promise.set_value(std::move(results[g]));
+      }
+      batch_sizes_.record(static_cast<std::int64_t>(indices.size()));
+      served += indices.size();
+    } catch (...) {
+      for (std::size_t i : indices) {
+        batch[i].promise.set_exception(std::current_exception());
+      }
+    }
+  }
+  return served;
+}
+
+}  // namespace cstf::serve

@@ -1,0 +1,117 @@
+// Versioned, checksummed persistence of a factorized model (.cstf files).
+//
+// The factorization side of this library already had a bare KTensor
+// checkpoint (cstf/ktensor.hpp); serving needs more: the constraint the
+// model was trained under (fold-in must solve the *same* constrained
+// subproblem), provenance metadata to audit what is in production, and
+// enough integrity checking that a truncated or bit-flipped file is rejected
+// with a typed error instead of deserializing into garbage.
+//
+// File layout (all integers little-endian as written by the host, 64-bit):
+//
+//   magic    "CSTFSRV\n"                     8 bytes
+//   version  u32 (kModelFormatVersion)
+//   header   u64 num_modes, u64 rank, u64 rows[num_modes]
+//   meta     u32 prox kind, f64 prox params a/b, f64 final_fit,
+//            u64 options_digest, u64 seed, u32 iterations,
+//            u32 name length + bytes
+//   payload  f64 lambda[rank], f64 factors (column-major, mode order)
+//   footer   u64 FNV-1a checksum of every byte from magic through payload
+//
+// Writes are crash-consistent: the file is written to "<path>.tmp" and
+// renamed into place only after a successful close, so a reader never
+// observes a half-written model and a crash mid-save leaves any previous
+// model intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "cstf/framework.hpp"
+#include "cstf/ktensor.hpp"
+#include "updates/prox.hpp"
+
+namespace cstf::serve {
+
+inline constexpr std::uint32_t kModelFormatVersion = 1;
+
+/// Why a model file was rejected — load failures are typed so callers (and
+/// tests) can distinguish a missing file from corruption.
+enum class ModelIoStatus {
+  kOpenFailed,        // cannot open / create the file
+  kBadMagic,          // not a .cstf model file
+  kBadVersion,        // written by an incompatible format version
+  kTruncated,         // ran out of bytes mid-structure
+  kCorruptHeader,     // implausible mode count / rank / dims
+  kChecksumMismatch,  // payload bytes do not hash to the stored checksum
+  kInvalidModel,      // deserialized fine but KTensor::validate() failed
+  kWriteFailed,       // save-side I/O error
+};
+
+const char* model_io_status_name(ModelIoStatus status);
+
+/// Typed model-I/O failure; also a cstf::Error so existing catch sites keep
+/// working.
+class ModelIoError : public Error {
+ public:
+  ModelIoError(ModelIoStatus status, const std::string& what)
+      : Error(what), status_(status) {}
+
+  ModelIoStatus status() const { return status_; }
+
+ private:
+  ModelIoStatus status_;
+};
+
+/// Provenance + constraint metadata stored alongside the factors.
+struct ModelMetadata {
+  std::string name;  // store key / human label
+
+  /// The constraint the model was trained under — fold-in replays it.
+  ProxKind constraint = ProxKind::kNonNegative;
+  real_t constraint_a = 0.0;
+  real_t constraint_b = 0.0;
+
+  real_t final_fit = 0.0;
+  std::uint64_t options_digest = 0;  // digest_options() of the training run
+  std::uint64_t seed = 0;
+  std::uint32_t iterations = 0;
+
+  Proximity prox() const {
+    return Proximity::from_kind(constraint, constraint_a, constraint_b);
+  }
+
+  /// Captures the constraint triple from a configured operator.
+  void set_constraint(const Proximity& p) {
+    constraint = p.kind();
+    constraint_a = p.param_a();
+    constraint_b = p.param_b();
+  }
+};
+
+/// A model plus its metadata — the unit of persistence and serving.
+struct SavedModel {
+  KTensor model;
+  ModelMetadata meta;
+};
+
+/// Stable digest of the options that shaped a factorization (rank, scheme,
+/// constraint, iterations, seed, scatter config) — recorded in the model file
+/// so an operator can tell whether a serving model matches a config.
+std::uint64_t digest_options(const FrameworkOptions& options);
+
+/// FNV-1a 64-bit, the checksum used by the model format (exposed for tests).
+std::uint64_t fnv1a64(const void* data, std::size_t len,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Saves atomically (tmp + rename). Throws ModelIoError(kWriteFailed /
+/// kOpenFailed); validates the model first (kInvalidModel).
+void save_model(const SavedModel& saved, const std::string& path);
+
+/// Loads and fully validates a model file; throws ModelIoError with the
+/// matching status on any defect. Never returns a partially-initialized
+/// model.
+SavedModel load_model(const std::string& path);
+
+}  // namespace cstf::serve

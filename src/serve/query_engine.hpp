@@ -1,0 +1,54 @@
+// Batched model queries: entry reconstruction and per-mode top-k scoring.
+//
+// A CP model answers "what is X_hat at (i_1, ..., i_N)?" with a fused
+// gather + Hadamard-dot over the rank: pull one row from each factor,
+// multiply them elementwise with lambda, and sum. Serving does this for a
+// *batch* of coordinates in one launch — the per-query work (N R gathered
+// words, ~N R flops) is far too small to amortize a launch on its own,
+// which is the same launch-amortization argument the paper makes for
+// operation fusion, applied to inference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/model_store.hpp"
+#include "serve/runtime.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace cstf::serve {
+
+/// One scored row of a top-k query.
+struct ScoredEntry {
+  index_t index = 0;
+  real_t score = 0.0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(ServeRuntime& runtime) : runtime_(runtime) {}
+
+  /// Batched entry reconstruction. `coords` holds `batch` coordinate tuples,
+  /// row-major (query b's mode-m index at coords[b * num_modes + m]); every
+  /// index is bounds-checked. Returns one model value per query:
+  ///   X_hat(i) = sum_r lambda_r * prod_m H_m(i_m, r).
+  std::vector<real_t> predict(const ServableModel& model,
+                              const std::vector<index_t>& coords);
+
+  /// Top-k rows of `target_mode` for the partial coordinate `fixed_coords`
+  /// (one index per mode; the target mode's entry is ignored): scores every
+  /// row i of H_target as X_hat(..., i, ...) and returns the k largest,
+  /// sorted descending (ties by lower index).
+  std::vector<ScoredEntry> top_k(const ServableModel& model, int target_mode,
+                                 const std::vector<index_t>& fixed_coords,
+                                 int k);
+
+  /// Per-call latency (one sample per predict()/top_k() invocation).
+  LatencyRecorder& latency() { return latency_; }
+
+ private:
+  ServeRuntime& runtime_;
+  LatencyRecorder latency_;
+};
+
+}  // namespace cstf::serve

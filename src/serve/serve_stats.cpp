@@ -1,0 +1,103 @@
+#include "serve/serve_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cstf::serve {
+
+namespace {
+
+/// Nearest-rank quantile of an already-sorted sample vector.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+void LatencyRecorder::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(seconds);
+}
+
+LatencySummary LatencyRecorder::summary() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  LatencySummary s;
+  s.count = static_cast<std::int64_t>(sorted.size());
+  if (sorted.empty()) return s;
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean_s = sum / static_cast<double>(sorted.size());
+  s.p50_s = sorted_quantile(sorted, 0.50);
+  s.p95_s = sorted_quantile(sorted, 0.95);
+  s.p99_s = sorted_quantile(sorted, 0.99);
+  s.max_s = sorted.back();
+  return s;
+}
+
+double LatencyRecorder::quantile(double q) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, q);
+}
+
+std::int64_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(samples_.size());
+}
+
+void LatencyRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+}
+
+void BatchSizeRecorder::record(std::int64_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[batch_size];
+  ++batches_;
+  requests_ += batch_size;
+}
+
+std::map<std::int64_t, std::int64_t> BatchSizeRecorder::histogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::int64_t BatchSizeRecorder::batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+std::int64_t BatchSizeRecorder::requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_;
+}
+
+double BatchSizeRecorder::mean_batch_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_ == 0
+             ? 0.0
+             : static_cast<double>(requests_) / static_cast<double>(batches_);
+}
+
+void BatchSizeRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.clear();
+  batches_ = 0;
+  requests_ = 0;
+}
+
+}  // namespace cstf::serve

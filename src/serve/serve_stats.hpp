@@ -1,0 +1,71 @@
+// Serving telemetry: request-latency quantiles and batch-size distribution.
+//
+// The serving layer's performance story is a tail-latency story — the
+// batcher trades a little p50 (requests wait for a batch) for a lot of
+// throughput (one fused ADMM launch instead of B), and the only honest way
+// to show that trade is p50/p95/p99 plus the realized batch sizes. These
+// recorders are the substrate: thread-safe, exact (they keep every sample;
+// serving tests and benches run at most ~10^5 requests), and consumed by
+// both the cstf_serve CLI and bench_serve_throughput's JSON telemetry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace cstf::serve {
+
+/// Summary of a latency distribution, in seconds.
+struct LatencySummary {
+  std::int64_t count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Exact latency recorder. record() is called once per request from any
+/// thread; summary() sorts a copy of the samples (nearest-rank quantiles).
+class LatencyRecorder {
+ public:
+  void record(double seconds);
+
+  LatencySummary summary() const;
+
+  /// Nearest-rank quantile, q in [0, 1]. 0 with no samples.
+  double quantile(double q) const;
+
+  std::int64_t count() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+/// Distribution of realized batch sizes (how well the batcher coalesces).
+class BatchSizeRecorder {
+ public:
+  void record(std::int64_t batch_size);
+
+  /// batch size -> number of batches of that size.
+  std::map<std::int64_t, std::int64_t> histogram() const;
+
+  std::int64_t batches() const;
+  std::int64_t requests() const;
+
+  /// Mean requests per batch; 0 with no batches.
+  double mean_batch_size() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::int64_t, std::int64_t> counts_;
+  std::int64_t batches_ = 0;
+  std::int64_t requests_ = 0;
+};
+
+}  // namespace cstf::serve

@@ -63,9 +63,13 @@ class Device {
   }
 
   /// Creates a named stream on this device's timeline. Handles stay valid
-  /// across reset() (like CUDA streams surviving between iterations).
+  /// across reset() (like CUDA streams surviving between iterations). The
+  /// name is forwarded to the attached tracer so the chrome export labels
+  /// the stream's lane.
   Stream create_stream(const std::string& name) {
-    return timeline_.create_stream(name);
+    Stream s = timeline_.create_stream(name);
+    if (tracer_ != nullptr) tracer_->name_stream(s.id(), name);
+    return s;
   }
 
   /// Captures "everything issued to `stream` so far" as an event.

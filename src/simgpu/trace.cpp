@@ -66,6 +66,16 @@ void Tracer::add_span(const std::string& kernel, const KernelStats& stats,
   spans_.push_back(std::move(span));
 }
 
+void Tracer::name_stream(int stream, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stream_names_[stream] = name;
+}
+
+std::map<int, std::string> Tracer::stream_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_names_;
+}
+
 std::vector<TraceSpan> Tracer::spans() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_;
@@ -161,14 +171,33 @@ std::string Tracer::chrome_trace_json() const {
   // Copy under the lock, format outside it.
   std::vector<TraceSpan> spans;
   std::vector<PhaseSpan> phases;
+  std::map<int, std::string> lane_names;
   {
     std::lock_guard<std::mutex> lock(mu_);
     spans = spans_;
     phases = phase_spans_;
+    lane_names = stream_names_;
   }
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Lane names as chrome metadata events: tid 0 is the phase lane, tid 1 the
+  // default stream, tid 1 + k each created stream (named via name_stream —
+  // Device::create_stream forwards its stream names; the serve engines use
+  // this for their per-engine lanes).
+  lane_names.emplace(0, "default stream");
+  for (const TraceSpan& s : spans) lane_names.emplace(s.stream, "");
+  const auto metadata = [&](int tid, const std::string& name) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json::escape(name) << "\"}}";
+  };
+  metadata(0, "phases");
+  for (const auto& [stream, name] : lane_names) {
+    metadata(1 + stream,
+             name.empty() ? "stream " + std::to_string(stream) : name);
+  }
   for (const PhaseSpan& p : phases) {
     if (!first) os << ',';
     first = false;

@@ -86,6 +86,14 @@ class Tracer {
                 std::int64_t seq = -1,
                 const std::vector<std::int64_t>& deps = {});
 
+  /// Names a stream lane for the chrome exporter (Device::create_stream
+  /// forwards the name of every stream it creates while a tracer is
+  /// attached). Unnamed lanes fall back to "stream <id>".
+  void name_stream(int stream, const std::string& name);
+
+  /// The recorded lane names, keyed by stream id (exposed for tests).
+  std::map<int, std::string> stream_names() const;
+
   /// Copy of every span recorded so far (cheap for test-sized traces).
   std::vector<TraceSpan> spans() const;
   std::vector<PhaseSpan> phase_spans() const;
@@ -131,6 +139,7 @@ class Tracer {
   std::vector<double> phase_start_;
   std::vector<TraceSpan> spans_;
   std::vector<PhaseSpan> phase_spans_;
+  std::map<int, std::string> stream_names_;
 };
 
 /// RAII phase guard; a null tracer makes it a no-op, so callers can scope

@@ -8,6 +8,22 @@
 
 namespace cstf {
 
+AdmmGram prepare_admm_gram(const Matrix& s, bool preinvert) {
+  const index_t rank = s.rows();
+  CSTF_CHECK(s.cols() == rank && rank > 0);
+  AdmmGram gram;
+  // rho <- trace(S)/R (Algorithm 2 line 2), with the same degenerate
+  // all-zero-factor clamp as update() so both paths see identical systems.
+  for (index_t r = 0; r < rank; ++r) gram.rho += s(r, r);
+  gram.rho /= static_cast<real_t>(rank);
+  if (gram.rho <= 0.0) gram.rho = 1.0;
+  Matrix s_loaded = s;
+  la::add_diagonal(s_loaded, gram.rho);
+  la::cholesky_factor(s_loaded, gram.l);
+  if (preinvert) la::cholesky_invert(gram.l, gram.inverse);
+  return gram;
+}
+
 std::string AdmmUpdate::name() const {
   std::string n = "ADMM(";
   n += options_.prox.name();
@@ -24,23 +40,37 @@ void AdmmUpdate::update(simgpu::Device& dev, const Matrix& s, const Matrix& m,
   CSTF_CHECK(m.cols() == rank && h.cols() == rank && m.rows() == h.rows());
 
   // rho <- trace(S)/R (Algorithm 2 line 2). The degenerate all-zero-factor
-  // fallback is clamped here, and only here, so the fused kernels and the
-  // unfused BLAS chain see the identical rho (> 0); the kernels assert it.
-  real_t rho = 0.0;
-  for (index_t r = 0; r < rank; ++r) rho += s(r, r);
-  rho /= static_cast<real_t>(rank);
-  if (rho <= 0.0) rho = 1.0;
+  // fallback is clamped here (and in prepare_admm_gram) so the fused kernels
+  // and the unfused BLAS chain see the identical rho (> 0); the kernels
+  // assert it.
+  AdmmGram gram;
+  for (index_t r = 0; r < rank; ++r) gram.rho += s(r, r);
+  gram.rho /= static_cast<real_t>(rank);
+  if (gram.rho <= 0.0) gram.rho = 1.0;
 
   // Factor S + rho*I once per update (line 3); reused by every inner
   // iteration.
   Matrix s_loaded = s;
-  la::add_diagonal(s_loaded, rho);
-  Matrix l;
-  simgpu::dpotrf(dev, s_loaded, l, options_.stream);
-  Matrix inverse;
+  la::add_diagonal(s_loaded, gram.rho);
+  simgpu::dpotrf(dev, s_loaded, gram.l, options_.stream);
   if (options_.preinversion) {
-    simgpu::dpotri(dev, l, inverse, options_.stream);  // Algorithm 3 line 4
+    simgpu::dpotri(dev, gram.l, gram.inverse,
+                   options_.stream);  // Algorithm 3 line 4
   }
+  update_with_gram(dev, gram, m, h, state);
+}
+
+void AdmmUpdate::update_with_gram(simgpu::Device& dev, const AdmmGram& gram,
+                                  const Matrix& m, Matrix& h,
+                                  ModeState& state) const {
+  const index_t rank = gram.l.rows();
+  const real_t rho = gram.rho;
+  CSTF_CHECK_MSG(rho > 0.0, "AdmmGram not prepared (rho=" << rho << ")");
+  CSTF_CHECK(m.cols() == rank && h.cols() == rank && m.rows() == h.rows());
+  CSTF_CHECK_MSG(gram.preinverted() == options_.preinversion,
+                 "AdmmGram pre-inversion does not match AdmmOptions");
+  const Matrix& l = gram.l;
+  const Matrix& inverse = gram.inverse;
 
   // Persistent dual + scratch, lazily sized.
   if (!state.dual.same_shape(h)) state.dual.resize(h.rows(), h.cols());

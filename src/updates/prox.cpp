@@ -12,6 +12,22 @@
 
 namespace cstf {
 
+Proximity Proximity::from_kind(ProxKind kind, real_t a, real_t b) {
+  switch (kind) {
+    case ProxKind::kIdentity:
+    case ProxKind::kNonNegative:
+    case ProxKind::kL1:
+    case ProxKind::kL1NonNegative:
+    case ProxKind::kBox:
+    case ProxKind::kL2Ball:
+    case ProxKind::kSimplex:
+    case ProxKind::kSmooth:
+      return Proximity(kind, a, b);
+  }
+  CSTF_CHECK_MSG(false, "unknown ProxKind " << static_cast<int>(kind));
+  return identity();  // unreachable
+}
+
 std::string Proximity::name() const {
   switch (kind_) {
     case ProxKind::kIdentity: return "identity";

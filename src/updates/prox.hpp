@@ -61,7 +61,16 @@ class Proximity {
     return Proximity(ProxKind::kSmooth, lambda, 0);
   }
 
+  /// Rebuilds an operator from its serialized (kind, params) triple — the
+  /// model-persistence path. Throws on an out-of-range kind (corrupt file).
+  static Proximity from_kind(ProxKind kind, real_t a, real_t b);
+
   ProxKind kind() const { return kind_; }
+
+  /// The raw parameters, paired with kind() for serialization: lambda (L1,
+  /// smooth), lo (box), radius (L2 ball) in `param_a`; hi (box) in `param_b`.
+  real_t param_a() const { return a_; }
+  real_t param_b() const { return b_; }
   bool elementwise() const {
     return kind_ != ProxKind::kL2Ball && kind_ != ProxKind::kSimplex &&
            kind_ != ProxKind::kSmooth;

@@ -4,12 +4,14 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 
 #include "baselines/planc.hpp"
 #include "baselines/splatt.hpp"
 #include "cstf/auntf.hpp"
 #include "cstf/framework.hpp"
 #include "cstf/ktensor.hpp"
+#include "cstf/sampled_fit.hpp"
 #include "la/blas.hpp"
 #include "perfmodel/admm_model.hpp"
 #include "tensor/datasets.hpp"
@@ -109,6 +111,87 @@ TEST(KTensor, CheckpointRejectsGarbage) {
   }
   EXPECT_THROW(load_ktensor(path), Error);
   EXPECT_THROW(load_ktensor("/nonexistent/model.ckpt"), Error);
+}
+
+TEST(KTensor, ValidateAcceptsWellFormedModel) {
+  Rng rng(8);
+  KTensor model;
+  model.factors.emplace_back(6, 2);
+  model.factors.emplace_back(4, 2);
+  for (auto& f : model.factors) f.fill_uniform(rng, 0.0, 1.0);
+  model.lambda = {1.0, 2.0};
+  EXPECT_NO_THROW(model.validate());
+}
+
+TEST(KTensor, ValidateRejectsStructuralAndNumericalDefects) {
+  const auto well_formed = [] {
+    Rng rng(8);
+    KTensor model;
+    model.factors.emplace_back(6, 2);
+    model.factors.emplace_back(4, 2);
+    for (auto& f : model.factors) f.fill_uniform(rng, 0.0, 1.0);
+    model.lambda = {1.0, 2.0};
+    return model;
+  };
+
+  EXPECT_THROW(KTensor{}.validate(), Error);  // no modes
+
+  KTensor bad_lambda = well_formed();
+  bad_lambda.lambda.push_back(3.0);
+  EXPECT_THROW(bad_lambda.validate(), Error);
+
+  KTensor ragged = well_formed();
+  ragged.factors[1] = Matrix(4, 3);  // rank mismatch across modes
+  EXPECT_THROW(ragged.validate(), Error);
+
+  KTensor nan_factor = well_formed();
+  nan_factor.factors[0](3, 1) = std::nan("");
+  EXPECT_THROW(nan_factor.validate(), Error);
+
+  KTensor inf_lambda = well_formed();
+  inf_lambda.lambda[0] = std::numeric_limits<real_t>::infinity();
+  EXPECT_THROW(inf_lambda.validate(), Error);
+}
+
+TEST(SampledFit, FullSampleIsBitIdenticalToExactFit) {
+  const LowRankTensor data = make_low_rank(21);
+  Rng rng(22);
+  KTensor model;
+  for (index_t dim : data.tensor.dims()) {
+    model.factors.emplace_back(dim, 4);
+    model.factors.back().fill_uniform(rng, 0.0, 1.0);
+  }
+  model.lambda = {1.0, 0.75, 0.5, 0.25};
+
+  SampledFitOptions options;
+  options.sample_size = data.tensor.nnz();  // covers every nonzero
+  const real_t exact = model.fit_to(data.tensor);
+  EXPECT_EQ(sampled_fit(model, data.tensor, options), exact);
+  options.sample_size = data.tensor.nnz() * 3;  // oversampling changes nothing
+  EXPECT_EQ(sampled_fit(model, data.tensor, options), exact);
+}
+
+TEST(SampledFit, FixedSeedIsDeterministic) {
+  const LowRankTensor data = make_low_rank(31);
+  Rng rng(32);
+  KTensor model;
+  for (index_t dim : data.tensor.dims()) {
+    model.factors.emplace_back(dim, 4);
+    model.factors.back().fill_uniform(rng, 0.0, 1.0);
+  }
+  model.lambda = {1.0, 1.0, 1.0, 1.0};
+
+  SampledFitOptions options;
+  options.sample_size = data.tensor.nnz() / 8;
+  options.seed = 77;
+  const real_t first = sampled_fit(model, data.tensor, options);
+  const real_t second = sampled_fit(model, data.tensor, options);
+  EXPECT_EQ(first, second);  // same seed, same sample, same estimate
+
+  options.seed = 78;
+  const real_t other_seed = sampled_fit(model, data.tensor, options);
+  // A different sample gives a (generally) different but nearby estimate.
+  EXPECT_NEAR(other_seed, first, 0.2);
 }
 
 TEST(Auntf, FitIncreasesAndFactorsStayFeasible) {

@@ -192,18 +192,25 @@ TEST(Tracer, ChromeTraceJsonIsValidAndComplete) {
   const json::Value v = json::parse(doc);
   const json::Value* events = v.find("traceEvents");
   ASSERT_NE(events, nullptr);
-  ASSERT_EQ(events->array.size(), 3u);  // 2 kernel spans + 1 phase
-  int phases = 0, kernels = 0;
+  int phases = 0, kernels = 0, lane_names = 0, complete = 0;
   for (const json::Value& e : events->array) {
+    if (e.find("ph")->str == "M") {  // lane-name metadata (thread_name)
+      EXPECT_EQ(e.find("name")->str, "thread_name");
+      ++lane_names;
+      continue;
+    }
     ASSERT_EQ(e.find("ph")->str, "X");
+    ++complete;
     ASSERT_NE(e.find("name"), nullptr);
     ASSERT_NE(e.find("ts"), nullptr);
     ASSERT_NE(e.find("dur"), nullptr);
     if (e.find("cat")->str == "phase") ++phases;
     if (e.find("cat")->str == "kernel") ++kernels;
   }
+  EXPECT_EQ(complete, 3);  // 2 kernel spans + 1 phase
   EXPECT_EQ(phases, 1);
   EXPECT_EQ(kernels, 2);
+  EXPECT_GE(lane_names, 2);  // at least the phase lane + default stream
 }
 
 TEST(Tracer, ChromeTraceHasStreamLanesAndFlowArrows) {

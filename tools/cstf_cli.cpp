@@ -20,6 +20,11 @@
 //                       PREFIX.lambda.txt
 //   --checkpoint PATH   save the model as a binary checkpoint (loadable via
 //                       cstf::load_ktensor)
+//   --save PATH         save a versioned, checksummed .cstf serving model
+//                       (factors + constraint + provenance; loadable by
+//                       cstf_serve and cstf::serve::load_model)
+//   --model-name NAME   store key recorded in the .cstf model (default: the
+//                       dataset name or input path)
 //   --profile           print a per-kernel summary (spans, launches, flops,
 //                       bytes, roofline-modeled and measured wall time)
 //   --trace FILE        write a chrome://tracing JSON timeline of every
@@ -32,6 +37,7 @@
 #include <string>
 
 #include "cstf/framework.hpp"
+#include "serve/model_io.hpp"
 #include "simgpu/trace.hpp"
 #include "tensor/datasets.hpp"
 #include "tensor/io.hpp"
@@ -110,6 +116,7 @@ void write_matrix(const Matrix& m, const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string input, dataset, output, checkpoint, trace_path;
+  std::string save_path, model_name;
   bool profile = false;
   FrameworkOptions options;
   options.rank = 16;
@@ -140,6 +147,8 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") options.seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--output") output = value();
     else if (arg == "--checkpoint") checkpoint = value();
+    else if (arg == "--save") save_path = value();
+    else if (arg == "--model-name") model_name = value();
     else if (arg == "--profile") profile = true;
     else if (arg == "--trace") trace_path = value();
     else if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
@@ -199,6 +208,21 @@ int main(int argc, char** argv) {
     if (!checkpoint.empty()) {
       save_ktensor(framework.ktensor(), checkpoint);
       std::printf("checkpoint written to %s\n", checkpoint.c_str());
+    }
+    if (!save_path.empty()) {
+      serve::SavedModel saved;
+      saved.model = framework.ktensor();
+      saved.meta.name =
+          model_name.empty() ? (dataset.empty() ? input : dataset)
+                             : model_name;
+      saved.meta.set_constraint(options.prox);
+      saved.meta.final_fit = result.final_fit;
+      saved.meta.options_digest = serve::digest_options(options);
+      saved.meta.seed = options.seed;
+      saved.meta.iterations = static_cast<std::uint32_t>(result.iterations);
+      serve::save_model(saved, save_path);
+      std::printf("serving model '%s' written to %s\n",
+                  saved.meta.name.c_str(), save_path.c_str());
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "cstf_cli: %s\n", e.what());

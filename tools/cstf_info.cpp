@@ -17,6 +17,7 @@
 #include "formats/alto.hpp"
 #include "formats/blco.hpp"
 #include "formats/csf.hpp"
+#include "mttkrp/scatter.hpp"
 #include "tensor/datasets.hpp"
 #include "tensor/io.hpp"
 
@@ -56,8 +57,10 @@ int main(int argc, char** argv) {
     std::printf("density    : %.3e\n", t.density());
     std::printf("||X||_F    : %.6e\n\n", std::sqrt(t.frobenius_norm_sq()));
 
-    std::printf("%-6s %12s %14s %16s %18s\n", "mode", "length", "distinct",
-                "nnz/used-idx", "update/mttkrp work");
+    std::printf("%-6s %12s %14s %16s %18s %13s %11s\n", "mode", "length",
+                "distinct", "nnz/used-idx", "update/mttkrp work",
+                "updates/row", "scatter");
+    const ScatterOptions scatter_opts;  // defaults: kAuto resolution
     double sum_dims = 0.0;
     for (int m = 0; m < t.num_modes(); ++m) {
       std::vector<bool> seen(static_cast<std::size_t>(t.dim(m)), false);
@@ -77,12 +80,19 @@ int main(int argc, char** argv) {
       const double mttkrp_w = static_cast<double>(t.nnz()) *
                               static_cast<double>(rank) *
                               static_cast<double>(t.num_modes());
-      std::printf("%-6d %12lld %14lld %16.2f %18.3f\n", m,
+      // The scatter engine's contention proxy (expected MTTKRP updates per
+      // output row) and the strategy kAuto would pick for this mode.
+      const double updates_per_row =
+          static_cast<double>(t.nnz()) / static_cast<double>(t.dim(m));
+      const ScatterStrategy picked =
+          resolve_scatter_strategy(scatter_opts, t.dim(m), rank, t.nnz());
+      std::printf("%-6d %12lld %14lld %16.2f %18.3f %13.2f %11s\n", m,
                   static_cast<long long>(t.dim(m)),
                   static_cast<long long>(distinct),
                   static_cast<double>(t.nnz()) /
                       static_cast<double>(std::max<index_t>(distinct, 1)),
-                  update_w / mttkrp_w);
+                  update_w / mttkrp_w, updates_per_row,
+                  scatter_strategy_name(picked));
     }
     std::printf("\nsum of mode lengths: %.3e (x R = factor elements: %.3e)\n",
                 sum_dims, sum_dims * static_cast<double>(rank));
