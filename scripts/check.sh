@@ -9,9 +9,11 @@
 # emitted JSON telemetry. A serve-smoke step then runs the serve-labeled
 # ctest group, a full save/load/serve workload through cstf_serve, and the
 # fold-in throughput bench (batched + pre-inverted must beat per-request
-# ADMM on modeled and host clocks at batch >= 8). CSTF_CHECK_SKIP_PERF=1
-# skips both (e.g. on loaded CI machines where wall-clock comparisons are
-# unreliable).
+# ADMM on modeled and host clocks at batch >= 8), and a chaos smoke replays
+# the workload under 1% injected kernel-launch failures (every request must
+# still succeed via retries/degraded mode). CSTF_CHECK_SKIP_PERF=1 skips
+# these (e.g. on loaded CI machines where wall-clock comparisons are
+# unreliable); the chaos smoke is repeated against the sanitized build.
 #
 # Knobs (env vars): CSTF_CHECK_SKIP_SANITIZE=1 skips the second pass (useful
 # on toolchains without sanitizer runtimes), CSTF_CHECK_SKIP_PERF=1,
@@ -47,6 +49,14 @@ else
   CSTF_BENCH_JSON=1 CSTF_BENCH_JSON_DIR=results/json \
     ./build/bench/bench_serve_throughput
   ./build/tools/cstf_json_check results/json/BENCH_serve_throughput.json
+
+  echo "=== chaos smoke: serving under 1% injected kernel-launch failures"
+  # Same mixed workload with a seeded probabilistic fault plan on the serving
+  # kernels; retry-with-backoff and degraded-mode isolation must absorb every
+  # injected fault (cstf_serve exits nonzero if any request ultimately fails).
+  ./build/tools/cstf_serve --dataset Uber --rank 4 --iters 2 --requests 200 \
+    --clients 4 --retries 10 --fault-plan "launch:p=0.01,seed=7" \
+    --json results/check_chaos_telemetry.json
 fi
 
 if [ "${CSTF_CHECK_SKIP_SANITIZE:-0}" = "1" ]; then
@@ -60,6 +70,14 @@ cmake --build build-asan -j
 # halt_on_error makes UBSan reports fail the test run instead of just logging.
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir build-asan --output-on-failure -j
+
+echo "=== chaos smoke under ASan: fault-recovery paths must be leak-free"
+# The retry/degraded paths unwind through exceptions mid-batch; run them under
+# the sanitizers to prove the unwinding leaks nothing and frees nothing twice.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ./build-asan/tools/cstf_serve --dataset Uber --rank 4 --iters 2 \
+    --requests 200 --clients 4 --retries 10 \
+    --fault-plan "launch:p=0.01,seed=7" >/dev/null
 
 echo
 echo "All checks passed (plain + sanitized)."

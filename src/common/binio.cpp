@@ -1,0 +1,44 @@
+#include "common/binio.hpp"
+
+#include <cstdio>
+
+namespace cstf {
+
+const char* model_io_status_name(ModelIoStatus status) {
+  switch (status) {
+    case ModelIoStatus::kOpenFailed: return "open-failed";
+    case ModelIoStatus::kBadMagic: return "bad-magic";
+    case ModelIoStatus::kBadVersion: return "bad-version";
+    case ModelIoStatus::kTruncated: return "truncated";
+    case ModelIoStatus::kCorruptHeader: return "corrupt-header";
+    case ModelIoStatus::kChecksumMismatch: return "checksum-mismatch";
+    case ModelIoStatus::kInvalidModel: return "invalid-model";
+    case ModelIoStatus::kWriteFailed: return "write-failed";
+    case ModelIoStatus::kOptionsMismatch: return "options-mismatch";
+  }
+  return "?";
+}
+
+void throw_model_io(ModelIoStatus status, const std::string& what) {
+  throw ModelIoError(status, "model io: " + what + " [" +
+                                 model_io_status_name(status) + "]");
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t len, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void commit_tmp_file(const std::string& tmp, const std::string& path) {
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw_model_io(ModelIoStatus::kWriteFailed, "rename " + tmp + " -> " + path);
+  }
+}
+
+}  // namespace cstf

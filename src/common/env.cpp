@@ -1,23 +1,72 @@
 #include "common/env.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
+#include "common/log.hpp"
+
 namespace cstf {
+
+namespace {
+
+/// True when everything from `end` to the terminator is whitespace —
+/// "42  " parses, "42x" does not.
+bool only_trailing_space(const char* end) {
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    ++end;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
+  errno = 0;
   char* end = nullptr;
   const long long parsed = std::strtoll(value, &end, 10);
-  return (end == value) ? fallback : parsed;
+  // Strict parse: the whole (whitespace-trimmed) string must be one integer.
+  // Silently accepting "8x" as 8 (or "" as 0) turns a typo'd knob into a
+  // quietly wrong experiment, so malformed/overflowing values warn and fall
+  // back instead.
+  if (end == value || !only_trailing_space(end)) {
+    CSTF_LOG_WARN("env: " << name << "='" << value
+                          << "' is not an integer; using default " << fallback);
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    CSTF_LOG_WARN("env: " << name << "='" << value
+                          << "' overflows a 64-bit integer; using default "
+                          << fallback);
+    return fallback;
+  }
+  return parsed;
 }
 
 double env_double(const char* name, double fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
+  errno = 0;
   char* end = nullptr;
   const double parsed = std::strtod(value, &end);
-  return (end == value) ? fallback : parsed;
+  if (end == value || !only_trailing_space(end)) {
+    CSTF_LOG_WARN("env: " << name << "='" << value
+                          << "' is not a number; using default " << fallback);
+    return fallback;
+  }
+  // ERANGE covers both overflow (+-HUGE_VAL) and underflow (denormal/0);
+  // only overflow is a usable-value problem.
+  if (errno == ERANGE && std::abs(parsed) == HUGE_VAL) {
+    CSTF_LOG_WARN("env: " << name << "='" << value
+                          << "' overflows a double; using default "
+                          << fallback);
+    return fallback;
+  }
+  return parsed;
 }
 
 std::string env_string(const char* name, const std::string& fallback) {

@@ -6,11 +6,15 @@
 
 namespace cstf {
 
-/// Reads an integer environment variable; returns `fallback` when unset or
-/// unparsable. Used by benches for knobs like CSTF_SCALE and CSTF_THREADS.
+/// Reads an integer environment variable. The whole value (modulo
+/// surrounding whitespace) must parse as one 64-bit integer; malformed or
+/// overflowing values ("8x", "", "9"*30) log a typed warning and return
+/// `fallback` instead of a silently-truncated number. Used by benches for
+/// knobs like CSTF_SCALE and CSTF_THREADS.
 std::int64_t env_int(const char* name, std::int64_t fallback);
 
-/// Reads a floating-point environment variable with a fallback.
+/// Reads a floating-point environment variable with the same strict
+/// whole-string parse and warn-and-fallback behavior as env_int.
 double env_double(const char* name, double fallback);
 
 /// Reads a string environment variable with a fallback.

@@ -6,6 +6,7 @@
 // its output is identical across standard libraries.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -51,6 +52,15 @@ class Rng {
   /// Returns an independent child generator; used to give each thread or each
   /// tensor mode its own stream while remaining reproducible.
   Rng split();
+
+  /// The four xoshiro256++ state words — snapshotted into training
+  /// checkpoints so a resumed run draws the identical sequence.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& words) {
+    for (int i = 0; i < 4; ++i) s_[i] = words[static_cast<std::size_t>(i)];
+  }
 
  private:
   std::uint64_t s_[4];

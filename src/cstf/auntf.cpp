@@ -69,19 +69,24 @@ Auntf::Auntf(simgpu::Device& dev, const MttkrpBackend& backend,
 
 void Auntf::initialize() {
   const int modes = backend_.num_modes();
-  Rng rng(options_.seed);
+  rng_ = Rng(options_.seed);
   factors_.clear();
   grams_.clear();
   states_.assign(static_cast<std::size_t>(modes), ModeState{});
   lambda_.assign(static_cast<std::size_t>(options_.rank), 1.0);
   for (int m = 0; m < modes; ++m) {
     Matrix f(backend_.dim(m), options_.rank);
-    f.fill_uniform(rng, 0.0, 1.0);
+    f.fill_uniform(rng_, 0.0, 1.0);
     factors_.push_back(std::move(f));
     Matrix g(options_.rank, options_.rank);
     la::gram(factors_.back(), g);
     grams_.push_back(std::move(g));
   }
+  completed_iterations_ = 0;
+  converged_ = false;
+  prev_fit_ = 0.0;
+  has_prev_fit_ = false;
+  fit_history_.clear();
   phases_.clear();
   modeled_phase_.clear();
   dev_.reset();
@@ -225,23 +230,116 @@ real_t Auntf::compute_fit(const Matrix& last_m,
 
 AuntfResult Auntf::run() {
   if (!initialized_) initialize();
-  AuntfResult result;
-  real_t prev_fit = -std::numeric_limits<real_t>::infinity();
-  for (int it = 0; it < options_.max_iterations; ++it) {
+  // The loop state lives in members (not locals) so a checkpoint taken by
+  // the on_iteration hook captures it and import_state() resumes mid-run
+  // bit-identically — including the early-stop bookkeeping.
+  while (completed_iterations_ < options_.max_iterations && !converged_) {
     const real_t fit = iterate();
-    result.iterations = it + 1;
+    ++completed_iterations_;
     if (options_.compute_fit) {
-      result.fit_history.push_back(fit);
-      result.final_fit = fit;
-      if (options_.fit_tolerance > 0.0 &&
-          std::abs(fit - prev_fit) < options_.fit_tolerance) {
-        result.converged = true;
-        break;
+      fit_history_.push_back(fit);
+      if (has_prev_fit_ && options_.fit_tolerance > 0.0 &&
+          std::abs(fit - prev_fit_) < options_.fit_tolerance) {
+        converged_ = true;
       }
-      prev_fit = fit;
+      prev_fit_ = fit;
+      has_prev_fit_ = true;
+    }
+    if (options_.on_iteration) options_.on_iteration(*this, completed_iterations_);
+  }
+  AuntfResult result;
+  result.iterations = completed_iterations_;
+  result.converged = converged_;
+  result.fit_history = fit_history_;
+  result.final_fit = fit_history_.empty() ? 0.0 : fit_history_.back();
+  return result;
+}
+
+TrainerState Auntf::export_state() const {
+  TrainerState state;
+  state.completed_iterations = completed_iterations_;
+  state.converged = converged_;
+  state.prev_fit = prev_fit_;
+  state.has_prev_fit = has_prev_fit_;
+  state.fit_history = fit_history_;
+  state.lambda = lambda_;
+  state.factors = factors_;
+  state.rng = rng_.state();
+  state.duals.reserve(states_.size());
+  for (const ModeState& ms : states_) state.duals.push_back(ms.dual);
+  // Per-mode rho = trace(Hadamard of the other modes' Grams)/R, the value
+  // the next ADMM update will derive (informational: rho is recomputed from
+  // the Grams each update, so it is a consequence of the factors, but
+  // recording it lets an operator audit a checkpoint without replaying).
+  const index_t rank = options_.rank;
+  for (std::size_t m = 0; m < factors_.size(); ++m) {
+    real_t trace = 0.0;
+    for (index_t r = 0; r < rank; ++r) {
+      real_t prod = 1.0;
+      for (std::size_t k = 0; k < grams_.size(); ++k) {
+        if (k == m) continue;
+        prod *= grams_[k](r, r);
+      }
+      trace += prod;
+    }
+    real_t rho = trace / static_cast<real_t>(rank);
+    if (rho <= 0.0) rho = 1.0;
+    state.rho.push_back(rho);
+  }
+  return state;
+}
+
+void Auntf::import_state(const TrainerState& state) {
+  const int modes = backend_.num_modes();
+  CSTF_CHECK_MSG(static_cast<int>(state.factors.size()) == modes,
+                 "trainer state has " << state.factors.size()
+                                      << " factors, tensor has " << modes
+                                      << " modes");
+  CSTF_CHECK_MSG(static_cast<index_t>(state.lambda.size()) == options_.rank,
+                 "trainer state rank " << state.lambda.size()
+                                       << " != configured rank "
+                                       << options_.rank);
+  for (int m = 0; m < modes; ++m) {
+    const Matrix& f = state.factors[static_cast<std::size_t>(m)];
+    CSTF_CHECK_MSG(f.rows() == backend_.dim(m) && f.cols() == options_.rank,
+                   "trainer state factor " << m << " shape mismatch");
+  }
+  CSTF_CHECK_MSG(state.duals.empty() ||
+                     static_cast<int>(state.duals.size()) == modes,
+                 "trainer state dual count mismatch");
+
+  factors_ = state.factors;
+  lambda_ = state.lambda;
+  states_.assign(static_cast<std::size_t>(modes), ModeState{});
+  if (!state.duals.empty()) {
+    for (int m = 0; m < modes; ++m) {
+      states_[static_cast<std::size_t>(m)].dual =
+          state.duals[static_cast<std::size_t>(m)];
     }
   }
-  return result;
+  // Grams are derived state: recompute from the restored factors with the
+  // same la::gram the in-loop dsyrk_gram recompute calls, so the restored
+  // caches are bit-identical to what an uninterrupted run would hold here.
+  grams_.clear();
+  for (int m = 0; m < modes; ++m) {
+    Matrix g(options_.rank, options_.rank);
+    la::gram(factors_[static_cast<std::size_t>(m)], g);
+    grams_.push_back(std::move(g));
+  }
+  rng_.set_state(state.rng);
+  completed_iterations_ = state.completed_iterations;
+  converged_ = state.converged;
+  prev_fit_ = state.prev_fit;
+  has_prev_fit_ = state.has_prev_fit;
+  fit_history_ = state.fit_history;
+  phases_.clear();
+  modeled_phase_.clear();
+  dev_.reset();
+  if (options_.pipeline_streams && !gram_stream_created_) {
+    gram_stream_ = dev_.create_stream("gram");
+    gram_stream_created_ = true;
+  }
+  initialized_ = true;
 }
 
 KTensor Auntf::ktensor() const {

@@ -15,10 +15,14 @@
 // paper's GPU framework and against the Xeon spec is a CPU baseline.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/random.hpp"
 #include "common/timer.hpp"
 #include "cstf/backend.hpp"
 #include "cstf/ktensor.hpp"
@@ -26,6 +30,8 @@
 #include "updates/update_method.hpp"
 
 namespace cstf {
+
+class Auntf;
 
 struct AuntfOptions {
   index_t rank = 16;
@@ -47,6 +53,11 @@ struct AuntfOptions {
   /// the factor update (Gram_n and MTTKRP_n only depend on Normalize_{n-1}).
   /// Functional results are unchanged — only the modeled timeline overlaps.
   bool pipeline_streams = false;
+
+  /// Invoked inside run() after each completed outer iteration with the
+  /// driver and the total completed-iteration count. The checkpoint layer
+  /// hooks here to snapshot training state at iteration boundaries.
+  std::function<void(const Auntf&, int completed)> on_iteration;
 };
 
 struct AuntfResult {
@@ -54,6 +65,24 @@ struct AuntfResult {
   bool converged = false;
   real_t final_fit = 0.0;
   std::vector<real_t> fit_history;
+};
+
+/// A snapshot of everything the run loop carries across outer iterations —
+/// the payload of a training checkpoint. Correct ADMM resume needs the
+/// per-mode dual variables (warm-started across outer iterations), not just
+/// the factors; restoring this state makes a resumed run bit-identical to an
+/// uninterrupted one.
+struct TrainerState {
+  int completed_iterations = 0;
+  bool converged = false;
+  real_t prev_fit = 0.0;                 // meaningful when has_prev_fit
+  bool has_prev_fit = false;             // false until the first fit
+  std::vector<real_t> fit_history;
+  std::vector<real_t> lambda;
+  std::vector<Matrix> factors;           // one per mode
+  std::vector<Matrix> duals;             // ADMM U per mode; may be empty
+  std::vector<real_t> rho;               // per-mode trace(S_m)/R at capture
+  std::array<std::uint64_t, 4> rng{};    // driver RNG state words
 };
 
 class Auntf {
@@ -79,8 +108,22 @@ class Auntf {
   /// NaN otherwise.
   real_t iterate();
 
-  /// Runs until convergence or max_iterations.
+  /// Runs until convergence or max_iterations total completed iterations
+  /// (resume-aware: after import_state() at iteration k, run() performs the
+  /// remaining max_iterations - k). The result covers the whole training
+  /// history, including iterations before a resume.
   AuntfResult run();
+
+  /// Snapshot of the cross-iteration training state (see TrainerState).
+  TrainerState export_state() const;
+
+  /// Restores a snapshot: factors, lambda, ADMM duals, RNG, counters; Grams
+  /// are recomputed from the factors (bit-identical to the in-loop
+  /// recompute). Marks the driver initialized.
+  void import_state(const TrainerState& state);
+
+  /// Outer iterations completed by run() since initialize()/import_state().
+  int completed_iterations() const { return completed_iterations_; }
 
   const std::vector<Matrix>& factors() const { return factors_; }
   const std::vector<real_t>& lambda() const { return lambda_; }
@@ -112,6 +155,14 @@ class Auntf {
   std::vector<Matrix> grams_;       // cached H^(m)^T H^(m), normalized
   std::vector<real_t> lambda_;
   std::vector<ModeState> states_;   // per-mode dual/scratch
+  Rng rng_{0};                      // re-seeded by initialize()
+
+  // Cross-iteration run() state; snapshot/restored by export/import_state.
+  int completed_iterations_ = 0;
+  bool converged_ = false;
+  real_t prev_fit_ = 0.0;
+  bool has_prev_fit_ = false;
+  std::vector<real_t> fit_history_;
 
   PhaseTimer phases_;
   std::map<std::string, double> modeled_phase_;

@@ -1,6 +1,7 @@
 #include "cstf/framework.hpp"
 
 #include "common/error.hpp"
+#include "cstf/checkpoint.hpp"
 
 namespace cstf {
 
@@ -49,10 +50,49 @@ CstfFramework::CstfFramework(const SparseTensor& tensor,
   auntf.compute_fit = options_.compute_fit;
   auntf.seed = options_.seed;
   auntf.pipeline_streams = options_.pipeline_streams;
+  if (options_.checkpoint_every > 0) {
+    CSTF_CHECK_MSG(!options_.checkpoint_path.empty(),
+                   "checkpoint_every > 0 requires checkpoint_path");
+    auntf.on_iteration = [this](const Auntf&, int completed) {
+      if (completed % options_.checkpoint_every == 0) {
+        write_checkpoint(options_.checkpoint_path);
+      }
+    };
+  }
   driver_ = std::make_unique<Auntf>(device_, backend_, *update_, auntf);
 }
 
+void CstfFramework::write_checkpoint(const std::string& path) const {
+  TrainingCheckpoint checkpoint;
+  checkpoint.state = driver_->export_state();
+  checkpoint.options_digest = digest_training_options(options_);
+  checkpoint.seed = options_.seed;
+  save_checkpoint(checkpoint, path);
+}
+
+void CstfFramework::resume_from_checkpoint(const std::string& path) {
+  TrainingCheckpoint checkpoint = load_checkpoint(path);
+  const std::uint64_t expected = digest_training_options(options_);
+  if (checkpoint.options_digest != expected) {
+    throw_model_io(ModelIoStatus::kOptionsMismatch,
+                   path + ": checkpoint was written under different training "
+                          "options (digest mismatch); resume must only change "
+                          "max_iterations / convergence knobs");
+  }
+  try {
+    driver_->import_state(checkpoint.state);
+  } catch (const Error& e) {
+    // Structural mismatch the digest cannot see (e.g. a different tensor
+    // with the same options): surface it as a typed load failure.
+    throw_model_io(ModelIoStatus::kInvalidModel, e.what());
+  }
+  resumed_ = true;
+}
+
 AuntfResult CstfFramework::run() {
+  if (!options_.resume_from.empty() && !resumed_) {
+    resume_from_checkpoint(options_.resume_from);
+  }
   AuntfResult result = driver_->run();
   // Exit-path sanity: a NaN that slipped into a factor (bad input data, a
   // broken kernel) would otherwise silently poison fit numbers and any model

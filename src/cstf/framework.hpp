@@ -64,6 +64,19 @@ struct FrameworkOptions {
   /// Model per-mode Gram work concurrently with MTTKRP on a second stream
   /// (see AuntfOptions::pipeline_streams). Off by default: serial modeling.
   bool pipeline_streams = false;
+
+  /// Write a crash-consistent training checkpoint (CSTFCKPT, see
+  /// cstf/checkpoint.hpp) to `checkpoint_path` every N completed outer
+  /// iterations. 0 disables checkpointing.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+
+  /// Resume training from this checkpoint before the first iteration of
+  /// run(). The checkpoint's options digest must match this configuration
+  /// (rank, seed, scheme, constraint, ... — everything except
+  /// max_iterations and the checkpoint knobs themselves); a resumed run is
+  /// bit-identical to an uninterrupted one.
+  std::string resume_from;
 };
 
 /// End-to-end constrained sparse tensor factorization on the simulated GPU.
@@ -71,8 +84,21 @@ class CstfFramework {
  public:
   CstfFramework(const SparseTensor& tensor, FrameworkOptions options);
 
-  /// Runs the factorization to completion.
+  // The checkpoint hook captures `this`; pinning the object keeps the
+  // capture valid for the framework's whole lifetime.
+  CstfFramework(const CstfFramework&) = delete;
+  CstfFramework& operator=(const CstfFramework&) = delete;
+
+  /// Runs the factorization to completion. With `resume_from` set, restores
+  /// that checkpoint first (throws ModelIoError on corruption or an options
+  /// mismatch) and performs only the remaining iterations; with
+  /// `checkpoint_every` > 0, snapshots training state to `checkpoint_path`
+  /// at the configured iteration boundaries.
   AuntfResult run();
+
+  /// Writes a checkpoint of the driver's current training state (also used
+  /// internally by the periodic hook).
+  void write_checkpoint(const std::string& path) const;
 
   /// The factored model after run()/iterate().
   KTensor ktensor() const { return driver_->ktensor(); }
@@ -95,11 +121,14 @@ class CstfFramework {
   double device_footprint_bytes() const;
 
  private:
+  void resume_from_checkpoint(const std::string& path);
+
   FrameworkOptions options_;
   simgpu::Device device_;
   BlcoBackend backend_;
   std::unique_ptr<UpdateMethod> update_;
   std::unique_ptr<Auntf> driver_;
+  bool resumed_ = false;
 };
 
 }  // namespace cstf

@@ -41,6 +41,9 @@ void evaluate_model(const SparseTensor& x, const std::vector<Matrix>& factors,
 PoissonNtf::PoissonNtf(const SparseTensor& tensor, PoissonNtfOptions options)
     : tensor_(tensor), options_(options), device_(options.device) {
   CSTF_CHECK(options_.rank >= 1 && options_.max_iterations >= 1);
+  CSTF_CHECK_MSG(options_.epsilon > 0.0 && std::isfinite(options_.epsilon),
+                 "Poisson NTF: epsilon must be a positive finite loss floor "
+                 "(got " << options_.epsilon << ")");
   for (real_t v : tensor_.values()) {
     CSTF_CHECK_MSG(v >= 0.0, "Poisson NTF requires non-negative counts");
   }
@@ -50,6 +53,30 @@ PoissonNtf::PoissonNtf(const SparseTensor& tensor, PoissonNtfOptions options)
     f.fill_uniform(rng, 0.1, 1.0);  // strictly positive start
     factors_.push_back(std::move(f));
   }
+}
+
+void PoissonNtf::set_factors(std::vector<Matrix> factors) {
+  CSTF_CHECK_MSG(
+      static_cast<int>(factors.size()) == tensor_.num_modes(),
+      "set_factors: " << factors.size() << " factors for a "
+                      << tensor_.num_modes() << "-mode tensor");
+  for (int m = 0; m < tensor_.num_modes(); ++m) {
+    const Matrix& f = factors[static_cast<std::size_t>(m)];
+    CSTF_CHECK_MSG(f.rows() == tensor_.dim(m) && f.cols() == options_.rank,
+                   "set_factors: mode " << m << " factor is " << f.rows()
+                                        << "x" << f.cols() << ", expected "
+                                        << tensor_.dim(m) << "x"
+                                        << options_.rank);
+    for (index_t r = 0; r < f.cols(); ++r) {
+      const real_t* col = f.col(r);
+      for (index_t i = 0; i < f.rows(); ++i) {
+        CSTF_CHECK_MSG(col[i] >= 0.0 && std::isfinite(col[i]),
+                       "set_factors: negative or non-finite entry in mode "
+                           << m);
+      }
+    }
+  }
+  factors_ = std::move(factors);
 }
 
 real_t PoissonNtf::objective() const {

@@ -28,7 +28,14 @@ struct PoissonNtfOptions {
   /// Stop when the relative objective improvement drops below this.
   real_t tolerance = 0.0;
   std::uint64_t seed = 42;
-  /// Guards divisions by near-zero model values / column masses.
+  /// Loss floor on the model value x_hat and denominator guards: the
+  /// objective's log term evaluates log(max(x_hat, epsilon)), and the MU
+  /// sweep's ratio and column-mass divisions clamp their denominators the
+  /// same way. A nonzero observed over a zero model therefore contributes
+  /// the FINITE penalty -x * log(epsilon) (= +27.6*x at the 1e-12 default)
+  /// instead of +inf, so one dead cell cannot blow up the objective or the
+  /// update. Must be > 0; the constructor rejects 0 and negatives, which
+  /// would reintroduce log(0)/division-by-zero.
   real_t epsilon = 1e-12;
   simgpu::DeviceSpec device = simgpu::a100();
 };
@@ -49,6 +56,12 @@ class PoissonNtf {
 
   /// KL objective of the current factors (up to the x*log(x) - x constant).
   real_t objective() const;
+
+  /// Replaces the factors (warm start, or pinning exact values in tests).
+  /// Shapes must match the tensor's dims and the configured rank; entries
+  /// must be non-negative (the MU update preserves non-negativity only from
+  /// a non-negative start).
+  void set_factors(std::vector<Matrix> factors);
 
   const std::vector<Matrix>& factors() const { return factors_; }
   KTensor ktensor() const;

@@ -113,6 +113,14 @@ class ScatterPlanCache {
     return *slot;
   }
 
+  /// Drops every cached plan. Callers whose nonzero set changes between
+  /// solves (the streaming path: each time slice is a different tensor)
+  /// MUST clear before reusing the cache — a plan built for one slice
+  /// permutes the wrong nonzeros of the next.
+  void clear() {
+    for (auto& slot : slots_) slot.reset();
+  }
+
  private:
   std::unique_ptr<ScatterPlan> slots_[kMaxModes];
 };

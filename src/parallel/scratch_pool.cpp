@@ -8,7 +8,29 @@ ScratchPool::Lease::~Lease() {
   if (pool_ != nullptr) pool_->release(std::move(buffers_));
 }
 
+namespace {
+
+std::mutex g_alloc_hook_mu;
+std::function<void(std::size_t)> g_alloc_hook;
+
+}  // namespace
+
+void ScratchPool::set_alloc_hook(std::function<void(std::size_t)> hook) {
+  std::lock_guard<std::mutex> lock(g_alloc_hook_mu);
+  g_alloc_hook = std::move(hook);
+}
+
 ScratchPool::Lease ScratchPool::acquire(std::size_t count, std::size_t size) {
+  {
+    // Copy under the lock, invoke outside it: the hook may throw (injected
+    // allocation fault), and must not deadlock re-entering the pool.
+    std::function<void(std::size_t)> hook;
+    {
+      std::lock_guard<std::mutex> lock(g_alloc_hook_mu);
+      hook = g_alloc_hook;
+    }
+    if (hook) hook(count * size * sizeof(real_t));
+  }
   Lease lease;
   lease.pool_ = this;
   lease.buffers_.reserve(count);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -54,6 +55,13 @@ class ScratchPool {
 
   /// Process-wide instance shared by the scatter kernels.
   static ScratchPool& global();
+
+  /// Process-wide observer invoked before every acquire() hands out buffers,
+  /// with the total bytes requested. Fault injection (simgpu::FaultPlan)
+  /// uses it to model device-allocation failures: the hook may throw, in
+  /// which case acquire() propagates before touching the pool. Pass an empty
+  /// function to detach. The hook must be detached before it dangles.
+  static void set_alloc_hook(std::function<void(std::size_t bytes)> hook);
 
  private:
   void release(std::vector<std::unique_ptr<std::vector<real_t>>> buffers);

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "la/cholesky.hpp"
 #include "parallel/parallel_for.hpp"
 #include "simgpu/dblas.hpp"
+#include "simgpu/fault.hpp"
 
 namespace cstf::serve {
 
@@ -176,12 +178,25 @@ FoldInBatcher::~FoldInBatcher() { stop(); }
 
 std::future<FoldInResult> FoldInBatcher::submit(FoldInRequest req) {
   Pending pending;
+  const double timeout_s =
+      req.timeout_s > 0.0 ? req.timeout_s : options_.default_deadline_s;
   pending.request = std::move(req);
   pending.enqueue_s = epoch_.seconds();
+  if (timeout_s > 0.0) pending.deadline_s = pending.enqueue_s + timeout_s;
   std::future<FoldInResult> future = pending.promise.get_future();
+  reliability_.submitted.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     CSTF_CHECK_MSG(!stopping_, "fold-in batcher: submit after stop");
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      // Load shedding: fail fast at admission rather than letting the queue
+      // (and every queued request's latency) grow without bound.
+      reliability_.shed.fetch_add(1, std::memory_order_relaxed);
+      pending.promise.set_exception(std::make_exception_ptr(ShedError(
+          "fold-in batcher: admission queue full (" +
+          std::to_string(options_.max_queue) + " requests); request shed")));
+      return future;
+    }
     queue_.push_back(std::move(pending));
   }
   cv_.notify_all();
@@ -257,11 +272,57 @@ void FoldInBatcher::collector_loop() {
   }
 }
 
+std::vector<FoldInResult> FoldInBatcher::solve_with_retries(
+    const ServableModel& model, const std::vector<FoldInRequest>& group) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return engine_.fold_in_batch(model, group);
+    } catch (const simgpu::FaultError& e) {
+      if (!e.transient() || attempt >= options_.max_retries) throw;
+      reliability_.retries.fetch_add(1, std::memory_order_relaxed);
+      if (options_.retry_backoff_s > 0.0) {
+        const double backoff_s =
+            options_.retry_backoff_s * static_cast<double>(1 << attempt);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoff_s));
+      }
+    }
+  }
+}
+
 std::size_t FoldInBatcher::drain_and_solve(std::vector<Pending> batch) {
   if (batch.empty()) return 0;
+
+  // Expire requests whose deadline passed while they waited in the queue —
+  // solving them would waste a batch slot on an answer nobody reads.
+  const double now_s = epoch_.seconds();
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& p : batch) {
+    if (p.deadline_s > 0.0 && now_s > p.deadline_s) {
+      reliability_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_exception(std::make_exception_ptr(DeadlineError(
+          "fold-in batcher: request deadline expired in queue")));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  batch = std::move(live);
+  if (batch.empty()) return 0;
+
   ServableModelPtr model = store_.get(model_name_);
+  bool stale_snapshot = false;
+  if (model == nullptr && options_.degraded_fallback) {
+    // Degraded mode: the model left the store (hot-swap in flight, or an
+    // unpublish) but we served it before — a stale generation beats failing
+    // the whole batch. The result's `generation` tells the client.
+    std::lock_guard<std::mutex> lock(model_mu_);
+    model = last_good_;
+    stale_snapshot = model != nullptr;
+  }
   if (model == nullptr) {
     for (Pending& p : batch) {
+      reliability_.failed.fetch_add(1, std::memory_order_relaxed);
       p.promise.set_exception(std::make_exception_ptr(
           Error("fold-in batcher: model '" + model_name_ +
                 "' is not in the store")));
@@ -275,13 +336,13 @@ std::size_t FoldInBatcher::drain_and_solve(std::vector<Pending> batch) {
     by_mode[batch[i].request.mode].push_back(i);
   }
   std::size_t served = 0;
+  bool any_success = false;
   for (const auto& [mode, indices] : by_mode) {
     std::vector<FoldInRequest> group;
     group.reserve(indices.size());
     for (std::size_t i : indices) group.push_back(batch[i].request);
     try {
-      std::vector<FoldInResult> results =
-          engine_.fold_in_batch(*model, group);
+      std::vector<FoldInResult> results = solve_with_retries(*model, group);
       const double done_s = epoch_.seconds();
       for (std::size_t g = 0; g < indices.size(); ++g) {
         Pending& p = batch[indices[g]];
@@ -290,11 +351,48 @@ std::size_t FoldInBatcher::drain_and_solve(std::vector<Pending> batch) {
       }
       batch_sizes_.record(static_cast<std::int64_t>(indices.size()));
       served += indices.size();
+      any_success = true;
+      reliability_.served.fetch_add(
+          static_cast<std::int64_t>(indices.size()),
+          std::memory_order_relaxed);
+      if (stale_snapshot) {
+        reliability_.degraded.fetch_add(
+            static_cast<std::int64_t>(indices.size()),
+            std::memory_order_relaxed);
+      }
     } catch (...) {
+      if (!options_.degraded_fallback) {
+        for (std::size_t i : indices) {
+          reliability_.failed.fetch_add(1, std::memory_order_relaxed);
+          batch[i].promise.set_exception(std::current_exception());
+        }
+        continue;
+      }
+      // The fused solve died even after retries (a fatal fault, or a
+      // request-triggered failure). Isolate: re-solve each request alone so
+      // one poisoned request cannot take down its batchmates.
       for (std::size_t i : indices) {
-        batch[i].promise.set_exception(std::current_exception());
+        Pending& p = batch[i];
+        try {
+          std::vector<FoldInResult> one =
+              solve_with_retries(*model, {p.request});
+          latency_.record(epoch_.seconds() - p.enqueue_s);
+          p.promise.set_value(std::move(one.front()));
+          ++served;
+          any_success = true;
+          reliability_.served.fetch_add(1, std::memory_order_relaxed);
+          reliability_.degraded.fetch_add(1, std::memory_order_relaxed);
+          batch_sizes_.record(1);
+        } catch (...) {
+          reliability_.failed.fetch_add(1, std::memory_order_relaxed);
+          p.promise.set_exception(std::current_exception());
+        }
       }
     }
+  }
+  if (any_success && !stale_snapshot) {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    last_good_ = model;
   }
   return served;
 }

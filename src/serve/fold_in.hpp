@@ -55,6 +55,26 @@ struct FoldInRequest {
 
   /// One value per tuple.
   std::vector<real_t> values;
+
+  /// Per-request deadline in seconds from submit(); a request still queued
+  /// past its deadline fails with DeadlineError instead of occupying a
+  /// batch slot. 0 uses the batcher's default_deadline_s (which may itself
+  /// be 0 = no deadline).
+  double timeout_s = 0.0;
+};
+
+/// Raised through a submit() future when the admission queue is full — the
+/// client's signal to back off. A shed request never entered the queue.
+class ShedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised through a submit() future when the request's deadline expired
+/// while it was still queued.
+class DeadlineError : public Error {
+ public:
+  using Error::Error;
 };
 
 /// A solved fold-in row.
@@ -127,6 +147,31 @@ class FoldInBatcher {
     double max_linger_s = 0.002;
 
     bool background = true;
+
+    /// Admission-queue bound: submit() beyond this many queued requests
+    /// fails the future with ShedError instead of growing the queue
+    /// (load shedding). 0 = unbounded.
+    std::size_t max_queue = 1024;
+
+    /// Default deadline for requests whose timeout_s is 0. 0 = none.
+    double default_deadline_s = 0.0;
+
+    /// How many times a fused solve is re-attempted after a *transient*
+    /// simgpu::FaultError (injected launch/copy/allocation failures) before
+    /// falling back to degraded per-request isolation.
+    int max_retries = 3;
+
+    /// Base sleep between retries; doubles per attempt (exponential
+    /// backoff). 0 retries immediately.
+    double retry_backoff_s = 0.0005;
+
+    /// Degraded-mode behavior. When the model vanishes from the store, a
+    /// batch is served against the last snapshot that successfully served
+    /// (stale generations beat failed requests); when a fused solve
+    /// exhausts its retries, each request is re-solved individually so one
+    /// poisoned request cannot fail its whole batch. Disable for
+    /// strict-freshness tests.
+    bool degraded_fallback = true;
   };
 
   /// `store` and `engine` must outlive the batcher. `model_name` is the
@@ -141,8 +186,10 @@ class FoldInBatcher {
   FoldInBatcher& operator=(const FoldInBatcher&) = delete;
 
   /// Enqueues a request; the future resolves when its batch is solved.
-  /// Fails the future with cstf::Error if the model vanishes from the store
-  /// or the batcher stops first.
+  /// Fails the future with ShedError when the admission queue is full,
+  /// DeadlineError when the request expires in the queue, and cstf::Error
+  /// if the model is unavailable (and no last-good snapshot exists) or the
+  /// batcher stops first.
   std::future<FoldInResult> submit(FoldInRequest req);
 
   /// Drains and solves everything currently queued (manual mode's only
@@ -160,15 +207,21 @@ class FoldInBatcher {
   /// Realized batch sizes (one record per fused solve).
   BatchSizeRecorder& batch_sizes() { return batch_sizes_; }
 
+  /// Shed / timeout / retry / degraded-mode counters.
+  ReliabilityCounters& reliability() { return reliability_; }
+
  private:
   struct Pending {
     FoldInRequest request;
     std::promise<FoldInResult> promise;
     double enqueue_s = 0.0;
+    double deadline_s = 0.0;  ///< absolute epoch_ time; 0 = no deadline
   };
 
   void collector_loop();
   std::size_t drain_and_solve(std::vector<Pending> batch);
+  std::vector<FoldInResult> solve_with_retries(
+      const ServableModel& model, const std::vector<FoldInRequest>& group);
 
   FoldInEngine& engine_;
   ModelStore& store_;
@@ -181,9 +234,15 @@ class FoldInBatcher {
   bool stopping_ = false;
   std::thread collector_;
 
+  // Last snapshot that successfully served a batch; the degraded fallback
+  // when the store no longer has the model.
+  std::mutex model_mu_;
+  ServableModelPtr last_good_;
+
   Timer epoch_;  // timestamps for end-to-end latency
   LatencyRecorder latency_;
   BatchSizeRecorder batch_sizes_;
+  ReliabilityCounters reliability_;
 };
 
 }  // namespace cstf::serve

@@ -16,90 +16,10 @@ constexpr std::uint64_t kMaxRank = 1u << 20;
 constexpr std::uint32_t kMaxNameBytes = 1u << 16;
 
 [[noreturn]] void fail(ModelIoStatus status, const std::string& what) {
-  throw ModelIoError(status, "model io: " + what + " [" +
-                                 model_io_status_name(status) + "]");
+  throw_model_io(status, what);
 }
-
-/// Streams bytes to a file while folding them into the running checksum.
-class HashingWriter {
- public:
-  explicit HashingWriter(std::ofstream& out) : out_(out) {}
-
-  void write(const void* data, std::size_t len) {
-    hash_ = fnv1a64(data, len, hash_);
-    out_.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(len));
-  }
-
-  template <typename T>
-  void write_pod(const T& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    write(&v, sizeof(T));
-  }
-
-  std::uint64_t digest() const { return hash_; }
-
- private:
-  std::ofstream& out_;
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
-
-/// Reads bytes while hashing them; throws kTruncated on short reads.
-class HashingReader {
- public:
-  HashingReader(std::ifstream& in, const std::string& path)
-      : in_(in), path_(path) {}
-
-  void read(void* data, std::size_t len, const char* what) {
-    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
-    if (static_cast<std::size_t>(in_.gcount()) != len) {
-      fail(ModelIoStatus::kTruncated,
-           path_ + ": truncated reading " + what);
-    }
-    hash_ = fnv1a64(data, len, hash_);
-  }
-
-  template <typename T>
-  T read_pod(const char* what) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    T v{};
-    read(&v, sizeof(T), what);
-    return v;
-  }
-
-  std::uint64_t digest() const { return hash_; }
-
- private:
-  std::ifstream& in_;
-  const std::string& path_;
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
 
 }  // namespace
-
-const char* model_io_status_name(ModelIoStatus status) {
-  switch (status) {
-    case ModelIoStatus::kOpenFailed: return "open-failed";
-    case ModelIoStatus::kBadMagic: return "bad-magic";
-    case ModelIoStatus::kBadVersion: return "bad-version";
-    case ModelIoStatus::kTruncated: return "truncated";
-    case ModelIoStatus::kCorruptHeader: return "corrupt-header";
-    case ModelIoStatus::kChecksumMismatch: return "checksum-mismatch";
-    case ModelIoStatus::kInvalidModel: return "invalid-model";
-    case ModelIoStatus::kWriteFailed: return "write-failed";
-  }
-  return "?";
-}
-
-std::uint64_t fnv1a64(const void* data, std::size_t len, std::uint64_t seed) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = seed;
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 std::uint64_t digest_options(const FrameworkOptions& options) {
   // Hash the fields that change what model a run produces. Field order is
@@ -170,10 +90,7 @@ void save_model(const SavedModel& saved, const std::string& path) {
       fail(ModelIoStatus::kWriteFailed, "write failed for " + tmp);
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    fail(ModelIoStatus::kWriteFailed, "rename " + tmp + " -> " + path);
-  }
+  commit_tmp_file(tmp, path);
 }
 
 SavedModel load_model(const std::string& path) {

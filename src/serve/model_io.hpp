@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/binio.hpp"
 #include "common/error.hpp"
 #include "cstf/framework.hpp"
 #include "cstf/ktensor.hpp"
@@ -36,33 +37,13 @@ namespace cstf::serve {
 
 inline constexpr std::uint32_t kModelFormatVersion = 1;
 
-/// Why a model file was rejected — load failures are typed so callers (and
-/// tests) can distinguish a missing file from corruption.
-enum class ModelIoStatus {
-  kOpenFailed,        // cannot open / create the file
-  kBadMagic,          // not a .cstf model file
-  kBadVersion,        // written by an incompatible format version
-  kTruncated,         // ran out of bytes mid-structure
-  kCorruptHeader,     // implausible mode count / rank / dims
-  kChecksumMismatch,  // payload bytes do not hash to the stored checksum
-  kInvalidModel,      // deserialized fine but KTensor::validate() failed
-  kWriteFailed,       // save-side I/O error
-};
-
-const char* model_io_status_name(ModelIoStatus status);
-
-/// Typed model-I/O failure; also a cstf::Error so existing catch sites keep
-/// working.
-class ModelIoError : public Error {
- public:
-  ModelIoError(ModelIoStatus status, const std::string& what)
-      : Error(what), status_(status) {}
-
-  ModelIoStatus status() const { return status_; }
-
- private:
-  ModelIoStatus status_;
-};
+// The typed status/error and the FNV-1a checksum live in common/binio.hpp
+// (shared with the trainer-side CSTFCKPT checkpoint format); re-exported
+// here so serving callers keep their historical spelling.
+using cstf::fnv1a64;
+using cstf::model_io_status_name;
+using cstf::ModelIoError;
+using cstf::ModelIoStatus;
 
 /// Provenance + constraint metadata stored alongside the factors.
 struct ModelMetadata {
@@ -100,10 +81,6 @@ struct SavedModel {
 /// constraint, iterations, seed, scatter config) — recorded in the model file
 /// so an operator can tell whether a serving model matches a config.
 std::uint64_t digest_options(const FrameworkOptions& options);
-
-/// FNV-1a 64-bit, the checksum used by the model format (exposed for tests).
-std::uint64_t fnv1a64(const void* data, std::size_t len,
-                      std::uint64_t seed = 0xcbf29ce484222325ULL);
 
 /// Saves atomically (tmp + rename). Throws ModelIoError(kWriteFailed /
 /// kOpenFailed); validates the model first (kInvalidModel).

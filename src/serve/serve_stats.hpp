@@ -9,12 +9,62 @@
 // both the cstf_serve CLI and bench_serve_throughput's JSON telemetry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <vector>
 
 namespace cstf::serve {
+
+/// A point-in-time copy of ReliabilityCounters (plain integers, safe to
+/// serialize into telemetry JSON).
+struct ReliabilitySnapshot {
+  std::int64_t submitted = 0;
+  std::int64_t served = 0;
+  std::int64_t shed = 0;        ///< rejected at admission (queue full)
+  std::int64_t timed_out = 0;   ///< expired before their batch was solved
+  std::int64_t retries = 0;     ///< solve attempts repeated after a
+                                ///< transient fault
+  std::int64_t degraded = 0;    ///< served from the last-good snapshot or
+                                ///< via per-request isolation
+  std::int64_t failed = 0;      ///< futures resolved with an exception
+};
+
+/// Load-shedding / fault-handling counters for the hardened serving path.
+/// All increments are lock-free; aggregate reads via snapshot().
+class ReliabilityCounters {
+ public:
+  std::atomic<std::int64_t> submitted{0};
+  std::atomic<std::int64_t> served{0};
+  std::atomic<std::int64_t> shed{0};
+  std::atomic<std::int64_t> timed_out{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> degraded{0};
+  std::atomic<std::int64_t> failed{0};
+
+  ReliabilitySnapshot snapshot() const {
+    ReliabilitySnapshot s;
+    s.submitted = submitted.load(std::memory_order_relaxed);
+    s.served = served.load(std::memory_order_relaxed);
+    s.shed = shed.load(std::memory_order_relaxed);
+    s.timed_out = timed_out.load(std::memory_order_relaxed);
+    s.retries = retries.load(std::memory_order_relaxed);
+    s.degraded = degraded.load(std::memory_order_relaxed);
+    s.failed = failed.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void clear() {
+    submitted = 0;
+    served = 0;
+    shed = 0;
+    timed_out = 0;
+    retries = 0;
+    degraded = 0;
+    failed = 0;
+  }
+};
 
 /// Summary of a latency distribution, in seconds.
 struct LatencySummary {

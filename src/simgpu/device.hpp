@@ -7,6 +7,7 @@
 #include "simgpu/cost_model.hpp"
 #include "simgpu/counters.hpp"
 #include "simgpu/device_spec.hpp"
+#include "simgpu/fault.hpp"
 #include "simgpu/stream.hpp"
 #include "simgpu/trace.hpp"
 
@@ -39,6 +40,15 @@ class Device {
   /// affect the counter totals.
   void record(const std::string& kernel_name, const KernelStats& stats,
               double wall_s = 0.0, Stream stream = {}) {
+    if (fault_plan_ != nullptr) {
+      // Fault check BEFORE accounting: an injected launch (or host-copy)
+      // failure throws FaultError and the launch never lands in the
+      // counters/timeline — the caller's retry re-issues it cleanly.
+      fault_plan_->on_launch(kernel_name);
+      if (stats.host_link_bytes > 0.0) {
+        fault_plan_->on_host_copy(kernel_name, stats.host_link_bytes);
+      }
+    }
     per_kernel_[kernel_name] += stats;
     total_ += stats;
     const std::int64_t idx = timeline_.add_span(stream, kernel_name, stats);
@@ -89,6 +99,13 @@ class Device {
   /// reset(), so a trace can cover several metering windows.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
+
+  /// Attaches (or detaches, with nullptr) a fault-injection plan; every
+  /// subsequent record() checks the launch site (and the host-copy site for
+  /// spans with host_link_bytes) against it. Not owned; survives reset()
+  /// like the tracer.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() const { return fault_plan_; }
 
   /// Accumulated statistics since the last reset.
   const KernelStats& total() const { return total_; }
@@ -144,7 +161,8 @@ class Device {
   KernelStats total_;
   std::map<std::string, KernelStats> per_kernel_;
   Timeline timeline_;
-  Tracer* tracer_ = nullptr;  // not owned; optional
+  Tracer* tracer_ = nullptr;          // not owned; optional
+  FaultPlan* fault_plan_ = nullptr;   // not owned; optional
 };
 
 }  // namespace cstf::simgpu

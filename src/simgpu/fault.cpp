@@ -1,0 +1,163 @@
+#include "simgpu/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "parallel/scratch_pool.hpp"
+
+namespace cstf::simgpu {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw Error("fault plan: bad spec '" + spec + "': " + why);
+}
+
+/// Strict numeric parses for the spec grammar — a typo'd fault plan must be
+/// an error, not a silently different experiment.
+std::int64_t parse_int(const std::string& spec, const std::string& value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    bad_spec(spec, "'" + value + "' is not an integer");
+  }
+  return v;
+}
+
+double parse_real(const std::string& spec, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    bad_spec(spec, "'" + value + "' is not a number");
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kKernelLaunch: return "launch";
+    case FaultSite::kAllocation: return "alloc";
+    case FaultSite::kHostLinkCopy: return "copy";
+  }
+  return "?";
+}
+
+FaultArm parse_fault_arm(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) bad_spec(spec, "missing ':' after the site");
+  const std::string site = spec.substr(0, colon);
+  FaultArm arm;
+  if (site == "launch") arm.site = FaultSite::kKernelLaunch;
+  else if (site == "alloc") arm.site = FaultSite::kAllocation;
+  else if (site == "copy") arm.site = FaultSite::kHostLinkCopy;
+  else bad_spec(spec, "unknown site '" + site + "'");
+
+  std::stringstream rest(spec.substr(colon + 1));
+  std::string kv;
+  while (std::getline(rest, kv, ',')) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) bad_spec(spec, "'" + kv + "' is not key=val");
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    if (key == "k") arm.k = parse_int(spec, value);
+    else if (key == "p") arm.p = parse_real(spec, value);
+    else if (key == "seed") {
+      arm.seed = static_cast<std::uint64_t>(parse_int(spec, value));
+    } else if (key == "max") arm.max_faults = parse_int(spec, value);
+    else if (key == "kernel") arm.kernel = value;
+    else if (key == "fatal") arm.fatal = parse_int(spec, value) != 0;
+    else bad_spec(spec, "unknown key '" + key + "'");
+  }
+  if (arm.k <= 0 && arm.p <= 0.0) bad_spec(spec, "needs k=N or p=F");
+  if (arm.k > 0 && arm.p > 0.0) bad_spec(spec, "k and p are exclusive");
+  if (arm.p < 0.0 || arm.p > 1.0) bad_spec(spec, "p must be in [0, 1]");
+  return arm;
+}
+
+FaultPlan::FaultPlan(const std::string& spec) {
+  std::stringstream arms(spec);
+  std::string one;
+  while (std::getline(arms, one, ';')) {
+    if (!one.empty()) add(parse_fault_arm(one));
+  }
+}
+
+FaultPlan FaultPlan::from_env() {
+  return FaultPlan(env_string("CSTF_FAULT_PLAN", ""));
+}
+
+void FaultPlan::add(FaultArm arm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArmState state;
+  state.arm = std::move(arm);
+  state.rng = Rng(state.arm.seed);
+  arms_.push_back(std::move(state));
+}
+
+bool FaultPlan::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !arms_.empty();
+}
+
+void FaultPlan::check(FaultSite site, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seen_[static_cast<int>(site)] += 1;
+  for (ArmState& state : arms_) {
+    const FaultArm& arm = state.arm;
+    if (arm.site != site) continue;
+    if (!arm.kernel.empty() && name.find(arm.kernel) == std::string::npos) {
+      continue;
+    }
+    const std::int64_t cap = arm.max_faults >= 0 ? arm.max_faults
+                             : arm.k > 0        ? 1
+                                                : -1;
+    if (cap >= 0 && state.injected >= cap) continue;
+    state.seen += 1;
+    const bool fire = arm.k > 0 ? (state.seen == arm.k)
+                                : (state.rng.uniform() < arm.p);
+    if (!fire) continue;
+    state.injected += 1;
+    injected_total_ += 1;
+    std::string what = std::string("injected fault: ") +
+                       fault_site_name(site) + " #" +
+                       std::to_string(state.seen);
+    if (!name.empty()) what += " (" + name + ")";
+    if (arm.fatal) what += " [fatal]";
+    throw FaultError(site, what, !arm.fatal);
+  }
+}
+
+void FaultPlan::on_launch(const std::string& kernel_name) {
+  check(FaultSite::kKernelLaunch, kernel_name);
+}
+
+void FaultPlan::on_host_copy(const std::string& kernel_name, double bytes) {
+  (void)bytes;
+  check(FaultSite::kHostLinkCopy, kernel_name);
+}
+
+void FaultPlan::on_allocation(std::size_t bytes) {
+  check(FaultSite::kAllocation, std::to_string(bytes) + " bytes");
+}
+
+std::int64_t FaultPlan::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_total_;
+}
+
+std::int64_t FaultPlan::seen(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_[static_cast<int>(site)];
+}
+
+ScopedAllocFaults::ScopedAllocFaults(FaultPlan& plan) {
+  ScratchPool::set_alloc_hook(
+      [&plan](std::size_t bytes) { plan.on_allocation(bytes); });
+}
+
+ScopedAllocFaults::~ScopedAllocFaults() { ScratchPool::set_alloc_hook({}); }
+
+}  // namespace cstf::simgpu

@@ -1,0 +1,148 @@
+// Deterministic fault injection for the simulated device.
+//
+// Real GPU deployments fail in three characteristic places: a kernel launch
+// errors out, a device allocation fails, or a host-link transfer is dropped.
+// A FaultPlan models all three against the simulated Device so every recovery
+// path in the trainer (checkpoint/resume) and the serving layer (retry,
+// load-shedding, degraded mode) can be exercised deterministically from
+// tier-1 tests and the check.sh chaos smoke.
+//
+// A plan is a list of arms, each parsed from a spec string:
+//
+//   "launch:k=5"                    fail exactly the 5th kernel launch
+//   "launch:p=0.01,seed=7"          fail each launch with prob 1% (seeded)
+//   "alloc:k=1"                     fail the first scratch allocation
+//   "copy:k=2"                      fail the 2nd host-link transfer
+//   "launch:k=3,kernel=dgemm"       count only launches whose name contains
+//                                   "dgemm"
+//   "launch:k=1,fatal=1"            non-transient: retry must not absorb it
+//   "launch:p=0.01,seed=7,max=16"   at most 16 injections, then quiescent
+//
+// Arms are ';'-separated ("launch:k=5;alloc:k=1"). Every fault raises a typed
+// FaultError; `transient()` tells retry logic whether another attempt may
+// succeed (true unless fatal=1). k-arms default to a single injection;
+// p-arms default to unlimited unless capped with max=N.
+//
+// Wiring: Device::set_fault_plan() checks the launch and host-copy sites on
+// every record(); ScopedAllocFaults routes ScratchPool allocations through
+// the plan for its lifetime. All hooks are thread-safe (serving batches and
+// queries hit the same plan concurrently).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace cstf::simgpu {
+
+enum class FaultSite {
+  kKernelLaunch = 0,
+  kAllocation = 1,
+  kHostLinkCopy = 2,
+};
+
+/// Display name ("launch", "alloc", "copy").
+const char* fault_site_name(FaultSite site);
+
+/// Typed injected failure. `transient()` distinguishes faults a retry may
+/// outlive (the default) from hard errors that must surface immediately.
+class FaultError : public Error {
+ public:
+  FaultError(FaultSite site, const std::string& what, bool transient)
+      : Error(what), site_(site), transient_(transient) {}
+
+  FaultSite site() const { return site_; }
+  bool transient() const { return transient_; }
+
+ private:
+  FaultSite site_;
+  bool transient_;
+};
+
+/// One injection rule. Either `k` (fail exactly the k-th matching event,
+/// 1-based) or `p` (fail each matching event with probability p, drawn from
+/// a generator seeded with `seed`) must be set.
+struct FaultArm {
+  FaultSite site = FaultSite::kKernelLaunch;
+  std::int64_t k = 0;
+  double p = 0.0;
+  std::uint64_t seed = 0;
+
+  /// Total injections this arm may perform; -1 means "1 for k-arms,
+  /// unlimited for p-arms".
+  std::int64_t max_faults = -1;
+
+  /// Substring filter on the kernel name (launch / copy sites only; empty
+  /// matches everything).
+  std::string kernel;
+
+  /// Non-transient: FaultError::transient() is false, so retry loops
+  /// re-throw instead of re-attempting.
+  bool fatal = false;
+};
+
+/// Parses one arm spec ("site:key=val,key=val"); throws cstf::Error on a
+/// malformed spec.
+FaultArm parse_fault_arm(const std::string& spec);
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses a ';'-separated list of arm specs. An empty string yields an
+  /// inactive plan.
+  explicit FaultPlan(const std::string& spec);
+
+  /// Builds a plan from the CSTF_FAULT_PLAN environment variable (inactive
+  /// when unset/empty).
+  static FaultPlan from_env();
+
+  void add(FaultArm arm);
+
+  /// True when the plan has at least one arm.
+  bool active() const;
+
+  /// Site hooks — each counts the event against every matching arm and
+  /// throws FaultError when one fires. Thread-safe.
+  void on_launch(const std::string& kernel_name);
+  void on_host_copy(const std::string& kernel_name, double bytes);
+  void on_allocation(std::size_t bytes);
+
+  /// Total faults injected across all arms so far.
+  std::int64_t injected() const;
+
+  /// Events observed at a site so far (matching any arm's filter or not).
+  std::int64_t seen(FaultSite site) const;
+
+ private:
+  struct ArmState {
+    FaultArm arm;
+    Rng rng;
+    std::int64_t seen = 0;
+    std::int64_t injected = 0;
+  };
+
+  void check(FaultSite site, const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<ArmState> arms_;
+  std::int64_t injected_total_ = 0;
+  std::int64_t seen_[3] = {0, 0, 0};
+};
+
+/// RAII guard that routes ScratchPool allocations through `plan` (the
+/// allocation fault site) for its lifetime; detaches on destruction.
+class ScopedAllocFaults {
+ public:
+  explicit ScopedAllocFaults(FaultPlan& plan);
+  ~ScopedAllocFaults();
+
+  ScopedAllocFaults(const ScopedAllocFaults&) = delete;
+  ScopedAllocFaults& operator=(const ScopedAllocFaults&) = delete;
+};
+
+}  // namespace cstf::simgpu

@@ -91,6 +91,9 @@ StreamingCstf::StreamingCstf(std::vector<index_t> nontemporal_dims,
 
 std::vector<real_t> StreamingCstf::ingest(const SparseTensor& slice) {
   const int modes = static_cast<int>(dims_.size());
+  CSTF_CHECK_MSG(!poisoned_,
+                 "streaming: a previous ingest failed mid-update; the "
+                 "accumulators are inconsistent — rebuild the StreamingCstf");
   CSTF_CHECK_MSG(slice.num_modes() == modes,
                  "slice has " << slice.num_modes() << " modes, expected "
                               << modes);
@@ -98,6 +101,23 @@ std::vector<real_t> StreamingCstf::ingest(const SparseTensor& slice) {
     CSTF_CHECK_MSG(slice.dim(m) == dims_[static_cast<std::size_t>(m)],
                    "slice mode " << m << " dimension mismatch");
   }
+  const index_t rank = options_.rank;
+
+  // Every slice is a different tensor: plans cached for the previous slice
+  // are stale (wrong permutation, wrong length). Invalidate before any mode
+  // can consult the cache.
+  plans_.clear();
+
+  try {
+    return ingest_impl(slice);
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+std::vector<real_t> StreamingCstf::ingest_impl(const SparseTensor& slice) {
+  const int modes = static_cast<int>(dims_.size());
   const index_t rank = options_.rank;
 
   if (options_.model_staging) {
@@ -182,13 +202,55 @@ std::vector<real_t> StreamingCstf::ingest(const SparseTensor& slice) {
     Matrix& q = q_accum_[mi];
 
     if (!b.same_shape(p)) b.resize(p.rows(), p.cols());
-    slice_mttkrp(slice, factors_, s_row.data(), m, b);
+    ScatterStrategy strategy = ScatterStrategy::kAuto;
+    if (options_.use_scatter_engine) {
+      // Streaming forces deterministic resolution: slice results must be
+      // bit-identical to the serial reference so resumable/replayed streams
+      // agree regardless of worker count.
+      ScatterOptions scatter = options_.scatter;
+      scatter.deterministic = true;
+      strategy =
+          resolve_scatter_strategy(scatter, b.rows(), rank, slice.nnz());
+      const ScatterPlan* plan = nullptr;
+      if (strategy == ScatterStrategy::kSorted) {
+        plan = &plans_.get(m, [&] {
+          return build_scatter_plan(slice.nnz(), [&](index_t i) {
+            return slice.indices(m)[static_cast<std::size_t>(i)];
+          });
+        });
+      }
+      scatter_accumulate(
+          strategy, b, slice.nnz(),
+          [&](index_t i, real_t* row) {
+            const real_t v = slice.values()[static_cast<std::size_t>(i)];
+            for (index_t r = 0; r < rank; ++r) {
+              row[static_cast<std::size_t>(r)] = v * s_row(0, r);
+            }
+            for (int k = 0; k < modes; ++k) {
+              if (k == m) continue;
+              const Matrix& f = factors_[static_cast<std::size_t>(k)];
+              const index_t idx =
+                  slice.indices(k)[static_cast<std::size_t>(i)];
+              for (index_t r = 0; r < rank; ++r) {
+                row[static_cast<std::size_t>(r)] *= f(idx, r);
+              }
+            }
+            return slice.indices(m)[static_cast<std::size_t>(i)];
+          },
+          plan);
+    } else {
+      slice_mttkrp(slice, factors_, s_row.data(), m, b);
+    }
     {
       simgpu::KernelStats stats;
       stats.flops = static_cast<double>(slice.nnz() * rank * (modes + 2));
       stats.bytes_random =
           static_cast<double>(slice.nnz() * rank * (modes + 1)) * simgpu::kWord;
       stats.parallel_items = static_cast<double>(slice.nnz());
+      if (options_.use_scatter_engine) {
+        apply_scatter_stats(stats, strategy, b.rows(), rank,
+                            static_cast<double>(slice.nnz()));
+      }
       device_.record("stream_slice_mttkrp", stats);
     }
     la::geam(la::Op::kNone, la::Op::kNone, mu, p, 1.0, b, p);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cstf/ktensor.hpp"
+#include "mttkrp/scatter.hpp"
 #include "simgpu/device.hpp"
 #include "tensor/coo.hpp"
 #include "updates/admm.hpp"
@@ -44,6 +45,16 @@ struct StreamingOptions {
   /// (staging of slice t reuses the buffer slice t-2 computed from). Off by
   /// default: staging is not modeled, matching the pre-stream behavior.
   bool model_staging = false;
+
+  /// Route the per-slice weighted MTTKRP through the adaptive scatter engine
+  /// (mttkrp/scatter.hpp) instead of the serial reference loop. Streaming
+  /// always resolves with `deterministic` forced on, so per-slice results
+  /// are bit-identical to the serial reference regardless of worker count.
+  bool use_scatter_engine = true;
+
+  /// Scatter configuration for the engine path (strategy/budget knobs;
+  /// `deterministic` is overridden to true as described above).
+  ScatterOptions scatter;
 };
 
 class StreamingCstf {
@@ -78,6 +89,8 @@ class StreamingCstf {
   simgpu::Device& device() { return device_; }
 
  private:
+  std::vector<real_t> ingest_impl(const SparseTensor& slice);
+
   StreamingOptions options_;
   std::vector<index_t> dims_;
   simgpu::Device device_;
@@ -91,6 +104,16 @@ class StreamingCstf {
   std::vector<ModeState> states_;
   std::vector<std::vector<real_t>> temporal_rows_;
   real_t last_residual_ = 0.0;
+
+  // Sorted-scatter plans for the CURRENT slice only; ingest() clears the
+  // cache up front because each slice is a different nonzero set (a stale
+  // plan would permute the wrong nonzeros, or trip the engine's size check).
+  ScatterPlanCache plans_;
+
+  // Set when an ingest() threw mid-update (e.g. an injected device fault):
+  // the accumulators may hold a half-applied slice, so further ingests
+  // refuse rather than silently diverge.
+  bool poisoned_ = false;
 
   // Staging pipeline state (model_staging): the copy stream and the compute
   // completion events of the two most recent slices (two staging buffers).

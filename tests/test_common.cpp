@@ -307,5 +307,39 @@ TEST(Env, UnparsableIntFallsBack) {
   ::unsetenv("CSTF_TEST_BAD_VAR");
 }
 
+TEST(Env, TrailingGarbageIsRejectedNotTruncated) {
+  // strtoll would happily parse "8x" as 8; the strict parser must not.
+  ::setenv("CSTF_TEST_BAD_VAR", "8x", 1);
+  EXPECT_EQ(env_int("CSTF_TEST_BAD_VAR", 9), 9);
+  ::setenv("CSTF_TEST_BAD_VAR", "1.5.3", 1);
+  EXPECT_DOUBLE_EQ(env_double("CSTF_TEST_BAD_VAR", 2.5), 2.5);
+  ::unsetenv("CSTF_TEST_BAD_VAR");
+}
+
+TEST(Env, EmptyValueFallsBack) {
+  ::setenv("CSTF_TEST_BAD_VAR", "", 1);
+  EXPECT_EQ(env_int("CSTF_TEST_BAD_VAR", 13), 13);
+  EXPECT_DOUBLE_EQ(env_double("CSTF_TEST_BAD_VAR", 0.5), 0.5);
+  ::unsetenv("CSTF_TEST_BAD_VAR");
+}
+
+TEST(Env, OverflowFallsBack) {
+  ::setenv("CSTF_TEST_BAD_VAR", "99999999999999999999999999", 1);
+  EXPECT_EQ(env_int("CSTF_TEST_BAD_VAR", 21), 21);
+  ::setenv("CSTF_TEST_BAD_VAR", "1e999", 1);
+  EXPECT_DOUBLE_EQ(env_double("CSTF_TEST_BAD_VAR", 3.5), 3.5);
+  ::unsetenv("CSTF_TEST_BAD_VAR");
+}
+
+TEST(Env, AcceptsSurroundingWhitespaceAndSigns) {
+  ::setenv("CSTF_TEST_SET_VAR", " 42 ", 1);
+  EXPECT_EQ(env_int("CSTF_TEST_SET_VAR", 0), 42);
+  ::setenv("CSTF_TEST_SET_VAR", "-12", 1);
+  EXPECT_EQ(env_int("CSTF_TEST_SET_VAR", 0), -12);
+  ::setenv("CSTF_TEST_SET_VAR", "-2.5e-3", 1);
+  EXPECT_DOUBLE_EQ(env_double("CSTF_TEST_SET_VAR", 0.0), -2.5e-3);
+  ::unsetenv("CSTF_TEST_SET_VAR");
+}
+
 }  // namespace
 }  // namespace cstf

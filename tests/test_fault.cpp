@@ -1,0 +1,182 @@
+// Unit tests for src/simgpu/fault: spec parsing, deterministic injection at
+// the launch / allocation / host-copy sites, and the Device/ScratchPool
+// wiring the trainer and serving recovery paths depend on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "parallel/scratch_pool.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/fault.hpp"
+
+namespace cstf {
+namespace {
+
+using simgpu::Device;
+using simgpu::FaultArm;
+using simgpu::FaultError;
+using simgpu::FaultPlan;
+using simgpu::FaultSite;
+using simgpu::KernelStats;
+
+TEST(FaultSpec, ParsesSitesAndKeys) {
+  const FaultArm launch = simgpu::parse_fault_arm("launch:k=5");
+  EXPECT_EQ(launch.site, FaultSite::kKernelLaunch);
+  EXPECT_EQ(launch.k, 5);
+  EXPECT_FALSE(launch.fatal);
+
+  const FaultArm alloc = simgpu::parse_fault_arm("alloc:k=1,fatal=1");
+  EXPECT_EQ(alloc.site, FaultSite::kAllocation);
+  EXPECT_TRUE(alloc.fatal);
+
+  const FaultArm copy =
+      simgpu::parse_fault_arm("copy:p=0.25,seed=9,max=3,kernel=stage");
+  EXPECT_EQ(copy.site, FaultSite::kHostLinkCopy);
+  EXPECT_DOUBLE_EQ(copy.p, 0.25);
+  EXPECT_EQ(copy.seed, 9u);
+  EXPECT_EQ(copy.max_faults, 3);
+  EXPECT_EQ(copy.kernel, "stage");
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(simgpu::parse_fault_arm("bogus:k=1"), Error);   // bad site
+  EXPECT_THROW(simgpu::parse_fault_arm("launch"), Error);      // no trigger
+  EXPECT_THROW(simgpu::parse_fault_arm("launch:"), Error);
+  EXPECT_THROW(simgpu::parse_fault_arm("launch:k=1,p=0.5"), Error);
+  EXPECT_THROW(simgpu::parse_fault_arm("launch:p=1.5"), Error);
+  EXPECT_THROW(simgpu::parse_fault_arm("launch:k=abc"), Error);
+  EXPECT_THROW(simgpu::parse_fault_arm("launch:wat=1"), Error);
+}
+
+TEST(FaultPlan, FailsExactlyTheKthLaunch) {
+  FaultPlan plan("launch:k=3");
+  EXPECT_TRUE(plan.active());
+  plan.on_launch("a");
+  plan.on_launch("b");
+  try {
+    plan.on_launch("c");
+    FAIL() << "3rd launch should have failed";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.site(), FaultSite::kKernelLaunch);
+    EXPECT_TRUE(e.transient());
+  }
+  // k-arms inject once and then go quiescent.
+  plan.on_launch("d");
+  plan.on_launch("e");
+  EXPECT_EQ(plan.injected(), 1);
+  EXPECT_EQ(plan.seen(FaultSite::kKernelLaunch), 5);
+}
+
+TEST(FaultPlan, ProbabilisticArmIsDeterministicGivenSeed) {
+  const auto run = [](int launches) {
+    FaultPlan plan("launch:p=0.3,seed=1234");
+    std::vector<int> failed;
+    for (int i = 0; i < launches; ++i) {
+      try {
+        plan.on_launch("k");
+      } catch (const FaultError&) {
+        failed.push_back(i);
+      }
+    }
+    return failed;
+  };
+  const std::vector<int> a = run(200);
+  const std::vector<int> b = run(200);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 0u);   // p=0.3 over 200 draws: some must fire
+  EXPECT_LT(a.size(), 200u); // ... and some must not
+}
+
+TEST(FaultPlan, MaxCapsInjections) {
+  FaultPlan plan("launch:p=1.0,seed=1,max=2");
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    try {
+      plan.on_launch("k");
+    } catch (const FaultError&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(plan.injected(), 2);
+}
+
+TEST(FaultPlan, KernelFilterCountsOnlyMatchingLaunches) {
+  FaultPlan plan("launch:k=2,kernel=dgemm");
+  plan.on_launch("dsyrk_gram");   // not counted
+  plan.on_launch("dgemm_nt");     // match 1
+  plan.on_launch("mttkrp_blco");  // not counted
+  EXPECT_THROW(plan.on_launch("dgemm_nn"), FaultError);  // match 2
+}
+
+TEST(FaultPlan, FatalFaultsAreNotTransient) {
+  FaultPlan plan("launch:k=1,fatal=1");
+  try {
+    plan.on_launch("k");
+    FAIL() << "first launch should have failed";
+  } catch (const FaultError& e) {
+    EXPECT_FALSE(e.transient());
+  }
+}
+
+TEST(FaultPlan, MultiArmSpecChecksEverySite) {
+  FaultPlan plan("launch:k=1;copy:k=1");
+  EXPECT_THROW(plan.on_launch("k"), FaultError);
+  EXPECT_THROW(plan.on_host_copy("stage", 1024.0), FaultError);
+  EXPECT_EQ(plan.injected(), 2);
+}
+
+TEST(FaultPlan, FromEnvReadsCstfFaultPlan) {
+  ::setenv("CSTF_FAULT_PLAN", "launch:k=1", 1);
+  FaultPlan plan = FaultPlan::from_env();
+  ::unsetenv("CSTF_FAULT_PLAN");
+  EXPECT_TRUE(plan.active());
+  EXPECT_THROW(plan.on_launch("k"), FaultError);
+
+  FaultPlan none = FaultPlan::from_env();
+  EXPECT_FALSE(none.active());
+}
+
+TEST(FaultDevice, RecordChecksLaunchAndCopySites) {
+  Device device(simgpu::a100());
+  FaultPlan plan("launch:k=2");
+  device.set_fault_plan(&plan);
+
+  KernelStats stats;
+  stats.flops = 1e6;
+  stats.launches = 1;
+  device.record("k1", stats, 1e-4);
+  EXPECT_THROW(device.record("k2", stats, 1e-4), FaultError);
+
+  // The failed launch must not have landed in the accounting: a retry
+  // re-issues it cleanly, so exactly 2 successful launches are recorded.
+  device.record("k3", stats, 1e-4);
+  EXPECT_EQ(device.total().launches, 2);
+
+  // Copies are a separate site keyed by host_link_bytes > 0.
+  FaultPlan copies("copy:k=1");
+  device.set_fault_plan(&copies);
+  device.record("k4", stats, 1e-4);  // no host traffic: not a copy event
+  KernelStats copy_stats;
+  copy_stats.host_link_bytes = 4096.0;
+  EXPECT_THROW(device.record("h2d", copy_stats, 1e-4), FaultError);
+}
+
+TEST(FaultScratchPool, ScopedAllocFaultsInjectsIntoAcquire) {
+  FaultPlan plan("alloc:k=1");
+  {
+    simgpu::ScopedAllocFaults guard(plan);
+    EXPECT_THROW(ScratchPool::global().acquire(2, 64), FaultError);
+    // The pool was untouched by the failed acquire; the next one succeeds.
+    ScratchPool::Lease lease = ScratchPool::global().acquire(2, 64);
+    EXPECT_NE(lease.tile(0), nullptr);
+  }
+  // Detached: no further injection.
+  ScratchPool::Lease lease = ScratchPool::global().acquire(2, 64);
+  EXPECT_NE(lease.tile(1), nullptr);
+  EXPECT_EQ(plan.injected(), 1);
+}
+
+}  // namespace
+}  // namespace cstf

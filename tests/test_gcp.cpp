@@ -134,6 +134,87 @@ TEST(PoissonNtf, RejectsNegativeCounts) {
   EXPECT_THROW(PoissonNtf(t, opt), Error);
 }
 
+TEST(PoissonNtf, RejectsNonPositiveEpsilon) {
+  SparseTensor t({3, 3});
+  t.append({0, 0}, 1.0);
+  PoissonNtfOptions zero;
+  zero.epsilon = 0.0;  // would reintroduce log(0) / division by zero
+  EXPECT_THROW(PoissonNtf(t, zero), Error);
+  PoissonNtfOptions negative;
+  negative.epsilon = -1e-12;
+  EXPECT_THROW(PoissonNtf(t, negative), Error);
+}
+
+TEST(PoissonNtf, SetFactorsValidatesShapesAndSign) {
+  SparseTensor t({2, 3});
+  t.append({0, 0}, 1.0);
+  PoissonNtfOptions opt;
+  opt.rank = 2;
+  PoissonNtf solver(t, opt);
+
+  std::vector<Matrix> wrong_count;
+  wrong_count.emplace_back(2, 2);
+  EXPECT_THROW(solver.set_factors(std::move(wrong_count)), Error);
+
+  std::vector<Matrix> wrong_shape;
+  wrong_shape.emplace_back(2, 2);
+  wrong_shape.emplace_back(3, 1);  // rank mismatch
+  EXPECT_THROW(solver.set_factors(std::move(wrong_shape)), Error);
+
+  std::vector<Matrix> negative;
+  negative.emplace_back(2, 2);
+  negative.emplace_back(3, 2);
+  negative[0](1, 1) = -0.5;
+  EXPECT_THROW(solver.set_factors(std::move(negative)), Error);
+}
+
+TEST(PoissonNtf, LossFloorGivesFiniteObjectiveOnZeroModelCell) {
+  // One observed count x = 2 at (0,0,0) over a rank-1 model that is EXACTLY
+  // zero there: without the floor the log term would be -inf. Hand-computed
+  // boundary value:
+  //   mass      = colsum(f0) * colsum(f1) * colsum(f2) = 0.5 * 0.25 * 0.125
+  //   log term  = x * log(max(0, eps)) = 2 * log(1e-12)
+  //   objective = mass - log term
+  SparseTensor t({2, 2, 2});
+  t.append({0, 0, 0}, 2.0);
+  PoissonNtfOptions opt;
+  opt.rank = 1;
+  opt.epsilon = 1e-12;
+  PoissonNtf solver(t, opt);
+
+  Matrix f0(2, 1), f1(2, 1), f2(2, 1);
+  f0(0, 0) = 0.0;   f0(1, 0) = 0.5;    // zero row at the observed index
+  f1(0, 0) = 0.25;  f1(1, 0) = 0.0;
+  f2(0, 0) = 0.125; f2(1, 0) = 0.0;
+  std::vector<Matrix> factors;
+  factors.push_back(std::move(f0));
+  factors.push_back(std::move(f1));
+  factors.push_back(std::move(f2));
+  solver.set_factors(std::move(factors));
+
+  const real_t expected =
+      0.5 * 0.25 * 0.125 - 2.0 * std::log(real_t{1e-12});
+  const real_t objective = solver.objective();
+  EXPECT_TRUE(std::isfinite(objective));
+  EXPECT_NEAR(objective, expected, 1e-9);
+
+  // A larger floor changes exactly the log term: the floor IS the bound.
+  PoissonNtfOptions coarse = opt;
+  coarse.epsilon = 1e-6;
+  PoissonNtf coarse_solver(t, coarse);
+  Matrix g0(2, 1), g1(2, 1), g2(2, 1);
+  g0(0, 0) = 0.0;   g0(1, 0) = 0.5;
+  g1(0, 0) = 0.25;  g1(1, 0) = 0.0;
+  g2(0, 0) = 0.125; g2(1, 0) = 0.0;
+  std::vector<Matrix> same;
+  same.push_back(std::move(g0));
+  same.push_back(std::move(g1));
+  same.push_back(std::move(g2));
+  coarse_solver.set_factors(std::move(same));
+  EXPECT_NEAR(coarse_solver.objective(),
+              0.5 * 0.25 * 0.125 - 2.0 * std::log(real_t{1e-6}), 1e-9);
+}
+
 TEST(PoissonNtf, ConvergesWithToleranceEarlyExit) {
   const CountData data = make_count_data({10, 8, 6}, 2, 6);
   PoissonNtfOptions opt;

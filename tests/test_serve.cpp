@@ -21,6 +21,7 @@
 #include "serve/runtime.hpp"
 #include "serve/serve_stats.hpp"
 #include "simgpu/device.hpp"
+#include "simgpu/fault.hpp"
 #include "updates/admm.hpp"
 
 namespace cstf::serve {
@@ -530,6 +531,164 @@ TEST(FoldInBatcher, StopFailsQueuedRequests) {
   EXPECT_THROW(future.get(), Error);
   EXPECT_THROW(batcher.submit(make_request(*store.get("test-model"), 0, 2)),
                Error);
+}
+
+TEST(FoldInBatcher, ShedsWhenAdmissionQueueIsFull) {
+  ModelStore store;
+  store.publish(make_saved_model());
+  simgpu::Device device(simgpu::a100());
+  ServeRuntime runtime(device, global_pool());
+  FoldInEngine engine(runtime);
+  FoldInBatcher::Options options;
+  options.background = false;
+  options.max_queue = 2;
+  FoldInBatcher batcher(engine, store, "test-model", options);
+
+  const ServableModelPtr model = store.get("test-model");
+  std::future<FoldInResult> a = batcher.submit(make_request(*model, 0, 1));
+  std::future<FoldInResult> b = batcher.submit(make_request(*model, 0, 2));
+  std::future<FoldInResult> c = batcher.submit(make_request(*model, 0, 3));
+
+  EXPECT_THROW(c.get(), ShedError);  // over the bound: shed at admission
+  EXPECT_EQ(batcher.flush(), 2u);    // the queue itself was protected
+  EXPECT_NO_THROW(a.get());
+  EXPECT_NO_THROW(b.get());
+
+  const ReliabilitySnapshot rel = batcher.reliability().snapshot();
+  EXPECT_EQ(rel.submitted, 3);
+  EXPECT_EQ(rel.shed, 1);
+  EXPECT_EQ(rel.served, 2);
+  EXPECT_EQ(rel.failed, 0);
+}
+
+TEST(FoldInBatcher, ExpiredDeadlineFailsWithDeadlineError) {
+  ModelStore store;
+  store.publish(make_saved_model());
+  simgpu::Device device(simgpu::a100());
+  ServeRuntime runtime(device, global_pool());
+  FoldInEngine engine(runtime);
+  FoldInBatcher::Options options;
+  options.background = false;
+  FoldInBatcher batcher(engine, store, "test-model", options);
+
+  const ServableModelPtr model = store.get("test-model");
+  FoldInRequest rushed = make_request(*model, 0, 1);
+  rushed.timeout_s = 1e-6;
+  std::future<FoldInResult> doomed = batcher.submit(std::move(rushed));
+  std::future<FoldInResult> patient =
+      batcher.submit(make_request(*model, 0, 2));  // no deadline
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(batcher.flush(), 1u);
+  EXPECT_THROW(doomed.get(), DeadlineError);
+  EXPECT_NO_THROW(patient.get());
+  EXPECT_EQ(batcher.reliability().snapshot().timed_out, 1);
+}
+
+TEST(FoldInBatcher, TransientFaultIsRetriedInvisibly) {
+  ModelStore store;
+  store.publish(make_saved_model());
+  simgpu::Device device(simgpu::a100());
+  simgpu::FaultPlan plan("launch:k=1");
+  device.set_fault_plan(&plan);
+  ServeRuntime runtime(device, global_pool());
+  FoldInEngine engine(runtime);
+  FoldInBatcher::Options options;
+  options.background = false;
+  options.retry_backoff_s = 0.0;
+  FoldInBatcher batcher(engine, store, "test-model", options);
+
+  const ServableModelPtr model = store.get("test-model");
+  std::future<FoldInResult> a = batcher.submit(make_request(*model, 0, 1));
+  std::future<FoldInResult> b = batcher.submit(make_request(*model, 0, 2));
+  EXPECT_EQ(batcher.flush(), 2u);
+  for (real_t v : a.get().row) EXPECT_TRUE(std::isfinite(v));
+  for (real_t v : b.get().row) EXPECT_TRUE(std::isfinite(v));
+
+  const ReliabilitySnapshot rel = batcher.reliability().snapshot();
+  EXPECT_EQ(plan.injected(), 1);
+  EXPECT_EQ(rel.retries, 1);
+  EXPECT_EQ(rel.failed, 0);
+  EXPECT_EQ(rel.served, 2);
+}
+
+TEST(FoldInBatcher, FatalFaultIsolatesRequestsInsteadOfFailingBatch) {
+  ModelStore store;
+  store.publish(make_saved_model());
+  simgpu::Device device(simgpu::a100());
+  // Fatal: the retry loop must NOT absorb it; the fused solve dies and the
+  // batcher falls back to per-request isolation (the arm is spent by then).
+  simgpu::FaultPlan plan("launch:k=1,fatal=1");
+  device.set_fault_plan(&plan);
+  ServeRuntime runtime(device, global_pool());
+  FoldInEngine engine(runtime);
+  FoldInBatcher::Options options;
+  options.background = false;
+  options.retry_backoff_s = 0.0;
+  FoldInBatcher batcher(engine, store, "test-model", options);
+
+  const ServableModelPtr model = store.get("test-model");
+  std::future<FoldInResult> a = batcher.submit(make_request(*model, 0, 1));
+  std::future<FoldInResult> b = batcher.submit(make_request(*model, 0, 2));
+  EXPECT_EQ(batcher.flush(), 2u);
+  EXPECT_NO_THROW(a.get());
+  EXPECT_NO_THROW(b.get());
+
+  const ReliabilitySnapshot rel = batcher.reliability().snapshot();
+  EXPECT_EQ(rel.retries, 0);  // fatal faults are never retried
+  EXPECT_EQ(rel.degraded, 2);
+  EXPECT_EQ(rel.failed, 0);
+}
+
+TEST(FoldInBatcher, ServesFromLastGoodSnapshotWhenModelVanishes) {
+  ModelStore store;
+  const ServableModelPtr published = store.publish(make_saved_model());
+  simgpu::Device device(simgpu::a100());
+  ServeRuntime runtime(device, global_pool());
+  FoldInEngine engine(runtime);
+  FoldInBatcher::Options options;
+  options.background = false;
+  FoldInBatcher batcher(engine, store, "test-model", options);
+
+  // One successful batch caches the snapshot.
+  std::future<FoldInResult> warm =
+      batcher.submit(make_request(*published, 0, 1));
+  ASSERT_EQ(batcher.flush(), 1u);
+  warm.get();
+
+  // The model vanishes (unpublish / botched hot-swap): degraded mode keeps
+  // serving against the cached generation instead of failing the batch.
+  ASSERT_TRUE(store.erase("test-model"));
+  std::future<FoldInResult> stale =
+      batcher.submit(make_request(*published, 0, 2));
+  EXPECT_EQ(batcher.flush(), 1u);
+  const FoldInResult result = stale.get();
+  EXPECT_EQ(result.generation, published->generation());
+  EXPECT_EQ(batcher.reliability().snapshot().degraded, 1);
+}
+
+TEST(FoldInBatcher, DegradedFallbackCanBeDisabled) {
+  ModelStore store;
+  const ServableModelPtr published = store.publish(make_saved_model());
+  simgpu::Device device(simgpu::a100());
+  ServeRuntime runtime(device, global_pool());
+  FoldInEngine engine(runtime);
+  FoldInBatcher::Options options;
+  options.background = false;
+  options.degraded_fallback = false;
+  FoldInBatcher batcher(engine, store, "test-model", options);
+
+  std::future<FoldInResult> warm =
+      batcher.submit(make_request(*published, 0, 1));
+  ASSERT_EQ(batcher.flush(), 1u);
+  warm.get();
+
+  ASSERT_TRUE(store.erase("test-model"));
+  std::future<FoldInResult> strict =
+      batcher.submit(make_request(*published, 0, 2));
+  EXPECT_EQ(batcher.flush(), 0u);
+  EXPECT_THROW(strict.get(), Error);
+  EXPECT_EQ(batcher.reliability().snapshot().failed, 1);
 }
 
 TEST(ModelStore, HotSwapUnderConcurrentServingLoad) {

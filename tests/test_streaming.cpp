@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "cstf/metrics.hpp"
+#include "simgpu/fault.hpp"
 #include "streaming/streaming_cstf.hpp"
 #include "tensor/generate.hpp"
 
@@ -189,6 +191,76 @@ TEST(Streaming, KtensorIncludesTemporalMode) {
   ASSERT_EQ(kt.num_modes(), 3);
   EXPECT_EQ(kt.factors[2].rows(), 4);
   EXPECT_TRUE(std::isfinite(kt.fit_to(scenario.full)));
+}
+
+TEST(Streaming, ScatterEngineIsBitIdenticalToReferenceAcrossChangingSlices) {
+  // Slices with DIFFERENT nonzero counts and patterns: a plan cached from
+  // slice t would permute the wrong nonzeros of slice t+1 (or trip the
+  // engine's size check), so this also regression-tests the per-ingest
+  // plan-cache invalidation.
+  Rng rng(17);
+  std::vector<SparseTensor> slices;
+  index_t coords[2];
+  for (index_t nnz : {20, 17, 11, 26}) {
+    SparseTensor slice({8, 6});
+    for (index_t k = 0; k < nnz; ++k) {
+      coords[0] = static_cast<index_t>(rng.uniform_index(8));
+      coords[1] = static_cast<index_t>(rng.uniform_index(6));
+      slice.append(coords, rng.uniform(0.5, 2.0));
+    }
+    slice.sort_by_mode(0);
+    slice.dedup_sum();
+    slices.push_back(std::move(slice));
+  }
+
+  StreamingOptions reference_opt;
+  reference_opt.rank = 3;
+  reference_opt.use_scatter_engine = false;
+  StreamingCstf reference({8, 6}, reference_opt);
+
+  StreamingOptions engine_opt = reference_opt;
+  engine_opt.use_scatter_engine = true;
+  engine_opt.scatter.strategy = ScatterStrategy::kSorted;
+  StreamingCstf engine({8, 6}, engine_opt);
+
+  for (const auto& slice : slices) {
+    const auto a = reference.ingest(slice);
+    const auto b = engine.ingest(slice);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      EXPECT_EQ(a[r], b[r]) << "temporal row component " << r;
+    }
+  }
+  for (std::size_t m = 0; m < reference.factors().size(); ++m) {
+    const Matrix& fa = reference.factors()[m];
+    const Matrix& fb = engine.factors()[m];
+    ASSERT_EQ(fa.rows(), fb.rows());
+    ASSERT_EQ(fa.cols(), fb.cols());
+    EXPECT_EQ(std::memcmp(fa.data(), fb.data(),
+                          static_cast<std::size_t>(fa.size()) * sizeof(real_t)),
+              0)
+        << "mode " << m << " factors differ bitwise";
+  }
+  EXPECT_GT(engine.device().per_kernel().count("stream_slice_mttkrp"), 0u);
+}
+
+TEST(Streaming, IngestFaultPoisonsTheStream) {
+  // A fault mid-ingest can leave the aged accumulators with a half-applied
+  // slice; the stream must refuse further ingests instead of diverging.
+  StreamScenario scenario = make_scenario(10, 8, 3, 2, 21);
+  StreamingOptions opt;
+  opt.rank = 2;
+  StreamingCstf stream({10, 8}, opt);
+  stream.ingest(scenario.slices[0]);  // healthy warm-up ingest
+
+  simgpu::FaultPlan plan("launch:k=1,fatal=1");
+  stream.device().set_fault_plan(&plan);
+  EXPECT_THROW(stream.ingest(scenario.slices[1]), simgpu::FaultError);
+  EXPECT_EQ(stream.num_slices(), 1);  // the failed slice was not appended
+
+  // Even with the faults gone, the instance stays poisoned.
+  stream.device().set_fault_plan(nullptr);
+  EXPECT_THROW(stream.ingest(scenario.slices[2]), Error);
 }
 
 TEST(Streaming, MismatchedSliceRejected) {

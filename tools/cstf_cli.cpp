@@ -20,6 +20,13 @@
 //                       PREFIX.lambda.txt
 //   --checkpoint PATH   save the model as a binary checkpoint (loadable via
 //                       cstf::load_ktensor)
+//   --checkpoint-every N  write a crash-consistent CSTFCKPT training
+//                       checkpoint every N outer iterations (requires
+//                       --checkpoint-path)
+//   --checkpoint-path P where the periodic training checkpoint goes
+//   --resume PATH       resume training from a CSTFCKPT checkpoint; with the
+//                       same options the resumed run is bit-identical to an
+//                       uninterrupted one (pair with --deterministic)
 //   --save PATH         save a versioned, checksummed .cstf serving model
 //                       (factors + constraint + provenance; loadable by
 //                       cstf_serve and cstf::serve::load_model)
@@ -58,6 +65,8 @@ using namespace cstf;
                " [--scatter auto|atomic|privatized|sorted]\n"
                "                [--deterministic] [--seed N]"
                " [--output PREFIX]\n"
+               "                [--checkpoint-every N --checkpoint-path P]"
+               " [--resume P]\n"
                "                [--profile] [--trace FILE]\n");
   std::exit(2);
 }
@@ -147,6 +156,9 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") options.seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--output") output = value();
     else if (arg == "--checkpoint") checkpoint = value();
+    else if (arg == "--checkpoint-every") options.checkpoint_every = std::atoi(value().c_str());
+    else if (arg == "--checkpoint-path") options.checkpoint_path = value();
+    else if (arg == "--resume") options.resume_from = value();
     else if (arg == "--save") save_path = value();
     else if (arg == "--model-name") model_name = value();
     else if (arg == "--profile") profile = true;
@@ -157,6 +169,12 @@ int main(int argc, char** argv) {
   }
   if (input.empty() == dataset.empty()) {
     usage("exactly one of --input / --dataset is required");
+  }
+  if (options.checkpoint_every < 0) {
+    usage("--checkpoint-every must be >= 0 (0 disables checkpointing)");
+  }
+  if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
+    usage("--checkpoint-every requires --checkpoint-path");
   }
 
   try {
@@ -169,6 +187,14 @@ int main(int argc, char** argv) {
                 options.device.name.c_str(),
                 scatter_strategy_name(options.scatter.strategy),
                 options.scatter.deterministic ? " (deterministic)" : "");
+
+    if (!options.resume_from.empty()) {
+      std::printf("resuming from checkpoint %s\n", options.resume_from.c_str());
+    }
+    if (options.checkpoint_every > 0) {
+      std::printf("checkpointing to %s every %d iteration(s)\n",
+                  options.checkpoint_path.c_str(), options.checkpoint_every);
+    }
 
     CstfFramework framework(tensor, options);
     simgpu::Tracer tracer;

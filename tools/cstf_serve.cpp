@@ -23,14 +23,28 @@
 //   --trace FILE     chrome://tracing timeline of the serving kernels
 //   --json FILE      machine-readable latency/batch telemetry
 //
+// Reliability options (chaos testing, see DESIGN.md §11):
+//   --fault-plan S   inject faults into the serving device, e.g.
+//                    "launch:p=0.01,seed=7" (defaults to $CSTF_FAULT_PLAN)
+//   --retries N      transient-fault retries per query / fused fold-in (10)
+//   --backoff S      base retry backoff, doubled per attempt (0.0002)
+//   --deadline S     per-request fold-in deadline; 0 = none (0)
+//   --max-queue N    fold-in admission-queue bound; beyond it requests are
+//                    shed, not queued (1024)
+//
 // Output: model provenance, query and fold-in latency summaries
 // (p50/p95/p99), the realized batch-size histogram, the worst fold-in ADMM
-// residual, and the modeled device time of the whole workload.
+// residual, reliability counters (shed/timeout/retry/degraded), and the
+// modeled device time of the whole workload. Shed and timed-out requests
+// are load-management outcomes, not failures; the exit code is nonzero only
+// for unhandled errors.
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +53,7 @@
 #include "serve/fold_in.hpp"
 #include "serve/model_store.hpp"
 #include "serve/query_engine.hpp"
+#include "simgpu/fault.hpp"
 #include "simgpu/trace.hpp"
 #include "tensor/datasets.hpp"
 
@@ -56,6 +71,9 @@ using namespace cstf;
                " [--batch B]\n"
                "                  [--linger S] [--per-request]"
                " [--device a100|h100|xeon]\n"
+               "                  [--fault-plan SPEC] [--retries N]"
+               " [--backoff S]\n"
+               "                  [--deadline S] [--max-queue N]\n"
                "                  [--seed N] [--trace FILE] [--json FILE]\n");
   std::exit(2);
 }
@@ -97,6 +115,12 @@ int main(int argc, char** argv) {
   bool per_request = false;
   std::uint64_t seed = 42;
   simgpu::DeviceSpec device_spec = simgpu::a100();
+  std::string fault_spec;
+  bool fault_spec_given = false;
+  int retries = 10;
+  double backoff_s = 0.0002;
+  double deadline_s = 0.0;
+  std::size_t max_queue = 1024;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,6 +141,11 @@ int main(int argc, char** argv) {
     else if (arg == "--linger") linger_s = std::atof(value().c_str());
     else if (arg == "--per-request") per_request = true;
     else if (arg == "--device") device_spec = parse_device(value());
+    else if (arg == "--fault-plan") { fault_spec = value(); fault_spec_given = true; }
+    else if (arg == "--retries") retries = std::atoi(value().c_str());
+    else if (arg == "--backoff") backoff_s = std::atof(value().c_str());
+    else if (arg == "--deadline") deadline_s = std::atof(value().c_str());
+    else if (arg == "--max-queue") max_queue = static_cast<std::size_t>(std::atoll(value().c_str()));
     else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--trace") trace_path = value();
     else if (arg == "--json") json_path = value();
@@ -165,6 +194,20 @@ int main(int argc, char** argv) {
     simgpu::Device device(device_spec);
     simgpu::Tracer tracer;
     if (!trace_path.empty()) device.set_tracer(&tracer);
+
+    // Fault injection: the plan outlives the device hookup; training above
+    // ran on the framework's own device, so only serving kernels can fail.
+    simgpu::FaultPlan fault_plan =
+        fault_spec_given ? simgpu::FaultPlan(fault_spec)
+                         : simgpu::FaultPlan::from_env();
+    std::optional<simgpu::ScopedAllocFaults> alloc_faults;
+    if (fault_plan.active()) {
+      device.set_fault_plan(&fault_plan);
+      alloc_faults.emplace(fault_plan);  // alloc arms hit ScratchPool::acquire
+      std::printf("fault injection active (%s)\n",
+                  fault_spec_given ? fault_spec.c_str() : "$CSTF_FAULT_PLAN");
+    }
+
     serve::ServeRuntime runtime(device, global_pool());
     serve::QueryEngine queries(runtime);
     serve::FoldInOptions fold_options;
@@ -173,18 +216,42 @@ int main(int argc, char** argv) {
     serve::FoldInBatcher::Options batcher_options;
     batcher_options.max_batch = per_request ? 1 : batch;
     batcher_options.max_linger_s = per_request ? 0.0 : linger_s;
+    batcher_options.max_queue = max_queue;
+    batcher_options.default_deadline_s = deadline_s;
+    batcher_options.max_retries = retries;
+    batcher_options.retry_backoff_s = backoff_s;
     serve::FoldInBatcher batcher(fold_engine, store, model->meta().name,
                                  batcher_options);
 
     // Open-loop workload: each client issues its share of requests, holding
     // fold-in futures until the end so concurrent arrivals can coalesce.
     std::atomic<long> failures{0};
+    std::atomic<long> query_retries{0};
+    std::atomic<long> sheds{0};
+    std::atomic<long> timeouts{0};
     std::vector<double> worst_primal(static_cast<std::size_t>(clients), 0.0);
     std::vector<std::thread> workers;
     Timer wall;
     for (int t = 0; t < clients; ++t) {
       workers.emplace_back([&, t] {
         Rng rng(seed + 1000 * static_cast<std::uint64_t>(t + 1));
+        // Queries run on the client thread, so the client owns their retry
+        // loop (fold-ins retry inside the batcher).
+        const auto with_retries = [&](const auto& fn) {
+          for (int attempt = 0;; ++attempt) {
+            try {
+              fn();
+              return;
+            } catch (const simgpu::FaultError& e) {
+              if (!e.transient() || attempt >= retries) throw;
+              query_retries.fetch_add(1, std::memory_order_relaxed);
+              if (backoff_s > 0.0) {
+                std::this_thread::sleep_for(std::chrono::duration<double>(
+                    backoff_s * static_cast<double>(1 << attempt)));
+              }
+            }
+          }
+        };
         std::vector<std::future<serve::FoldInResult>> futures;
         const int share = requests / clients + (t < requests % clients ? 1 : 0);
         for (int q = 0; q < share; ++q) {
@@ -197,9 +264,12 @@ int main(int argc, char** argv) {
                       rng.uniform_index(
                           static_cast<std::uint64_t>(model->mode_size(m))));
                 }
-                queries.top_k(*model, static_cast<int>(rng.uniform_index(
-                                          static_cast<std::uint64_t>(modes))),
-                              fixed, topk);
+                with_retries([&] {
+                  queries.top_k(*model,
+                                static_cast<int>(rng.uniform_index(
+                                    static_cast<std::uint64_t>(modes))),
+                                fixed, topk);
+                });
               } else {
                 std::vector<index_t> coords;
                 for (int b = 0; b < 8; ++b) {
@@ -208,7 +278,7 @@ int main(int argc, char** argv) {
                         static_cast<std::uint64_t>(model->mode_size(m)))));
                   }
                 }
-                queries.predict(*model, coords);
+                with_retries([&] { queries.predict(*model, coords); });
               }
             } else {
               serve::FoldInRequest req;
@@ -236,6 +306,11 @@ int main(int argc, char** argv) {
             if (result.diagnostics.primal_residual > worst) {
               worst = result.diagnostics.primal_residual;
             }
+          } catch (const serve::ShedError&) {
+            // Load management, not an error: the client's cue to back off.
+            sheds.fetch_add(1, std::memory_order_relaxed);
+          } catch (const serve::DeadlineError&) {
+            timeouts.fetch_add(1, std::memory_order_relaxed);
           } catch (const std::exception&) {
             failures.fetch_add(1, std::memory_order_relaxed);
           }
@@ -267,6 +342,20 @@ int main(int argc, char** argv) {
                   static_cast<long long>(count));
     }
     std::printf("worst fold-in primal residual: %.3e\n", worst);
+    const serve::ReliabilitySnapshot rel = batcher.reliability().snapshot();
+    if (fault_plan.active() || rel.shed + rel.timed_out + rel.retries +
+                                       rel.degraded + rel.failed !=
+                                   0) {
+      std::printf("reliability: %lld injected faults, %ld query retries, "
+                  "%lld fold-in retries, %lld shed, %lld timed out, "
+                  "%lld degraded, %lld failed\n",
+                  static_cast<long long>(fault_plan.injected()),
+                  query_retries.load(), static_cast<long long>(rel.retries),
+                  static_cast<long long>(rel.shed),
+                  static_cast<long long>(rel.timed_out),
+                  static_cast<long long>(rel.degraded),
+                  static_cast<long long>(rel.failed));
+    }
     std::printf("modeled %s time for the serving work: %.6f s\n",
                 device_spec.name.c_str(), device.modeled_time_s());
 
@@ -291,6 +380,21 @@ int main(int argc, char** argv) {
                         ",\n  \"mean_batch_size\": " +
                         number(batcher.batch_sizes().mean_batch_size()) +
                         ",\n  \"worst_primal_residual\": " + number(worst) +
+                        ",\n  \"reliability\": {\"injected_faults\":" +
+                        number(static_cast<double>(fault_plan.injected())) +
+                        ",\"query_retries\":" +
+                        number(static_cast<double>(query_retries.load())) +
+                        ",\"fold_in_retries\":" +
+                        number(static_cast<double>(rel.retries)) +
+                        ",\"shed\":" + number(static_cast<double>(rel.shed)) +
+                        ",\"timed_out\":" +
+                        number(static_cast<double>(rel.timed_out)) +
+                        ",\"degraded\":" +
+                        number(static_cast<double>(rel.degraded)) +
+                        ",\"failed\":" +
+                        number(static_cast<double>(rel.failed)) +
+                        ",\"failures\":" +
+                        number(static_cast<double>(failures.load())) + "}" +
                         ",\n  \"modeled_s\": " +
                         number(device.modeled_time_s()) + "\n}\n";
       std::ofstream out(json_path);
