@@ -5,9 +5,11 @@
 // Expected shape: near-linear scaling where the per-device work dominates
 // (large nnz, short output mode); the all-reduce of long-mode outputs
 // (Flickr mode 2: 28.2M x 32 doubles = 7.2 GB) caps speedup.
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/error.hpp"
 #include "multigpu/multi_gpu.hpp"
 
 int main() {
@@ -16,8 +18,9 @@ int main() {
   const index_t rank = 32;
   std::printf("=== Multi-GPU MTTKRP scaling (A100 + NVLink ring, R=%lld) ===\n\n",
               static_cast<long long>(rank));
-  std::printf("%-12s %-6s %12s %12s %12s %12s %12s %8s\n", "Tensor", "Mode",
-              "1 GPU [s]", "2 GPUs", "4 GPUs", "8 GPUs", "8 ovl", "chunks");
+  std::printf("%-12s %-6s %12s %12s %12s %12s %12s %8s %8s\n", "Tensor",
+              "Mode", "1 GPU [s]", "2 GPUs", "4 GPUs", "8 GPUs", "8 ovl",
+              "chunks", "parity");
 
   for (const char* name : {"NIPS", "NELL2", "Delicious", "Amazon"}) {
     const DatasetAnalog data = bench::load_dataset(name);
@@ -51,7 +54,30 @@ int main() {
           int chunks = 0;
           const double ovl = engine.modeled_mttkrp_time_overlapped(
               mode, rank, data.nnz_scale(), data.dim_scale(mode), 0, &chunks);
-          std::printf(" %10.2fx  %7d", base / ovl, chunks);
+          // Parity gate: the compiled 1-chunk plan degenerates to the legacy
+          // serial model (slowest shard + all-reduce) exactly.
+          const double plan_serial = engine.modeled_mttkrp_time_overlapped(
+              mode, rank, data.nnz_scale(), data.dim_scale(mode), 1);
+          CSTF_CHECK_MSG(std::abs(plan_serial - t) <= 1e-12 * std::abs(t),
+                         "planner 1-chunk makespan " << plan_serial
+                         << " != legacy serial makespan " << t << " on "
+                         << name << " mode " << mode);
+          std::printf(" %10.2fx  %7d %7.4fx", base / ovl, chunks,
+                      plan_serial / t);
+          if (session.enabled()) {
+            bench::BenchRecord rec;
+            rec.dataset = name;
+            rec.machine = engine.options().device.name;
+            rec.rank = rank;
+            rec.phases.mttkrp = t;  // serial 8-GPU reference
+            rec.extras = {{"mode", static_cast<double>(mode)},
+                          {"devices", 8.0},
+                          {"legacy_serial_s", t},
+                          {"planner_serial_s", plan_serial},
+                          {"planner_overlap_s", ovl},
+                          {"chunks", static_cast<double>(chunks)}};
+            session.add_record(std::move(rec));
+          }
         }
       }
       std::printf("\n");
@@ -61,6 +87,8 @@ int main() {
       "\nColumns 2-4 are speedups over 1 GPU (serial: slowest shard +\n"
       "all-reduce). \"8 ovl\" overlaps chunked all-reduce with compute on 8\n"
       "GPUs — at least the serial 8-GPU speedup, and strictly better where\n"
-      "the all-reduce tail was exposed (long output modes).\n");
+      "the all-reduce tail was exposed (long output modes). \"parity\" runs\n"
+      "the exec::Planner-compiled schedule at 1 chunk, which must reproduce\n"
+      "the legacy serial model exactly (1.0000; the bench aborts otherwise).\n");
   return 0;
 }

@@ -8,6 +8,8 @@
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "exec/executor.hpp"
+#include "exec/planner.hpp"
 #include "la/blas.hpp"
 #include "la/elementwise.hpp"
 #include "simgpu/dblas.hpp"
@@ -60,6 +62,11 @@ void JsonSession::add_record(BenchRecord record) {
   records_.push_back(std::move(record));
 }
 
+void JsonSession::annotate_last(const std::string& key, double value) {
+  if (records_.empty()) return;
+  records_.back().extras.emplace_back(key, value);
+}
+
 void JsonSession::set_dataset_context(std::string dataset) {
   dataset_context_ = std::move(dataset);
 }
@@ -97,7 +104,17 @@ std::string JsonSession::to_json() const {
          << ",\"modeled_s\":" << simgpu::json::number(row.modeled_s)
          << ",\"wall_s\":" << simgpu::json::number(row.wall_s) << '}';
     }
-    os << "]}";
+    os << "]";
+    if (!r.extras.empty()) {
+      os << ",\"extra\":{";
+      for (std::size_t e = 0; e < r.extras.size(); ++e) {
+        if (e > 0) os << ',';
+        os << '"' << simgpu::json::escape(r.extras[e].first)
+           << "\":" << simgpu::json::number(r.extras[e].second);
+      }
+      os << '}';
+    }
+    os << "}";
   }
   os << "]}";
   return os.str();
@@ -166,6 +183,21 @@ double overlapped_total(const std::vector<ModeledIteration>& per_mode,
     dev.record_fixed("update", m.update);
     dev.record_fixed("normalize", m.normalize);
   }
+  return dev.modeled_makespan_s();
+}
+
+double planner_overlapped_total(const std::vector<ModeledIteration>& per_mode,
+                                const simgpu::DeviceSpec& spec) {
+  std::vector<exec::FixedModePhases> modes;
+  modes.reserve(per_mode.size());
+  for (const ModeledIteration& m : per_mode) {
+    modes.push_back({m.gram, m.mttkrp, m.update, m.normalize});
+  }
+  auto plan = std::make_shared<const exec::Plan>(
+      exec::Planner::compile_fixed_pipeline(modes));
+  simgpu::Device dev(spec);
+  exec::Executor executor(dev, std::move(plan));
+  executor.run();
   return dev.modeled_makespan_s();
 }
 

@@ -28,8 +28,10 @@
 // "phases"/"total_modeled_s" are scaled to the full-size dataset (the number
 // the tables print); "kernels" rows are the tracer's raw per-kernel
 // aggregates at run scale — modeled_s is roofline time, wall_s is measured
-// host time. scripts/run_benches.sh regenerates every BENCH_*.json and
-// validates them with tools/cstf_json_check.
+// host time. A record may carry an optional "extra" object of bench-specific
+// scalars (e.g. the planner-vs-legacy overlap makespans); validators ignore
+// it. scripts/run_benches.sh regenerates every BENCH_*.json and validates
+// them with tools/cstf_json_check.
 #pragma once
 
 #include <cstdint>
@@ -92,6 +94,14 @@ ModeledIteration modeled_iteration(const DatasetAnalog& data,
 double overlapped_total(const std::vector<ModeledIteration>& per_mode,
                         const simgpu::DeviceSpec& spec);
 
+/// The same schedule compiled through exec::Planner::compile_fixed_pipeline
+/// and realized by exec::Executor (the path the trainer now runs on).
+/// Bit-identical to overlapped_total() by construction; benches print both
+/// as a planner-vs-legacy makespan-parity column, keeping the hand-rolled
+/// version above alive purely as the legacy reference.
+double planner_overlapped_total(const std::vector<ModeledIteration>& per_mode,
+                                const simgpu::DeviceSpec& spec);
+
 /// Convenience bundles for the three systems the figures compare.
 ModeledIteration gpu_iteration(const DatasetAnalog& data,
                                const simgpu::DeviceSpec& gpu_spec,
@@ -121,6 +131,10 @@ struct BenchRecord {
   ModeledIteration phases;  ///< full-scale modeled seconds per phase
   ModeledIteration wall;    ///< measured host seconds per phase
   std::vector<BenchKernelRow> kernels;
+  /// Optional bench-specific scalars, serialized as an "extra" object on the
+  /// record (e.g. the planner-vs-legacy overlap makespans). Validators ignore
+  /// unknown fields, so this is schema-compatible.
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// RAII bench-JSON session. Each bench main constructs one as its first
@@ -148,6 +162,11 @@ class JsonSession {
 
   void add_record(BenchRecord record);
   std::size_t record_count() const { return records_.size(); }
+
+  /// Attaches an extra scalar to the most recently added record (no-op when
+  /// no record exists). Benches use this to record values computed after
+  /// modeled_iteration() auto-added the record, e.g. overlap parity numbers.
+  void annotate_last(const std::string& key, double value);
 
   /// Dataset label applied to the next auto-added record (set by the
   /// DatasetAnalog overload of modeled_iteration; consumed once).

@@ -17,7 +17,9 @@
 #
 # Knobs (env vars): CSTF_CHECK_SKIP_SANITIZE=1 skips the second pass (useful
 # on toolchains without sanitizer runtimes), CSTF_CHECK_SKIP_PERF=1,
-# CSTF_THREADS.
+# CSTF_CHECK_TSAN=1 adds a ThreadSanitizer pass (-DCSTF_TSAN=ON) over the
+# exec-labeled ctest group (the executor/plan-cache layer every concurrent
+# path now submits through), CSTF_THREADS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +59,18 @@ else
   ./build/tools/cstf_serve --dataset Uber --rank 4 --iters 2 --requests 200 \
     --clients 4 --retries 10 --fault-plan "launch:p=0.01,seed=7" \
     --json results/check_chaos_telemetry.json
+fi
+
+if [ "${CSTF_CHECK_TSAN:-0}" = "1" ]; then
+  echo "=== TSan pass: exec-labeled suite under ThreadSanitizer"
+  # TSan and ASan cannot share a binary (the configure step enforces the
+  # exclusivity), so this is its own build tree. The exec group covers the
+  # executor, plan caches, and the trainer/streaming/serving paths that
+  # submit through them — the layer where stream/event races would live.
+  cmake -B build-tsan -S . -DCSTF_TSAN=ON
+  cmake --build build-tsan -j
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan -L exec --output-on-failure
 fi
 
 if [ "${CSTF_CHECK_SKIP_SANITIZE:-0}" = "1" ]; then

@@ -1,0 +1,17 @@
+#include "common/digest.hpp"
+
+#include "common/binio.hpp"
+
+namespace cstf {
+
+DigestBuilder& DigestBuilder::bytes(const void* data, std::size_t len) {
+  hash_ = fnv1a64(data, len, hash_);
+  return *this;
+}
+
+DigestBuilder& DigestBuilder::str(const std::string& s) {
+  u64(static_cast<std::uint64_t>(s.size()));
+  return bytes(s.data(), s.size());
+}
+
+}  // namespace cstf

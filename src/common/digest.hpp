@@ -1,0 +1,39 @@
+// Field-wise FNV-1a digest builder.
+//
+// Checkpoint and serving metadata both stamp an options digest into their
+// file formats so a resume/load can detect incompatible configurations. The
+// two call sites used to duplicate the mixing machinery; DigestBuilder is
+// the shared piece. Field order and encoding are part of each digest's
+// definition — the builder mixes exactly the bytes its callers feed it, in
+// order, from the standard FNV-1a offset basis, so rewriting a call site in
+// terms of the builder preserves the digest bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cstf {
+
+class DigestBuilder {
+ public:
+  /// Mixes `len` raw bytes. The fundamental operation; everything else is
+  /// encoding sugar over it.
+  DigestBuilder& bytes(const void* data, std::size_t len);
+
+  DigestBuilder& u64(std::uint64_t v) { return bytes(&v, sizeof(v)); }
+  DigestBuilder& f64(double v) { return bytes(&v, sizeof(v)); }
+
+  /// Booleans are widened to u64 (the encoding both digests always used).
+  DigestBuilder& boolean(bool v) { return u64(v ? 1 : 0); }
+
+  /// Length-prefixed string (prefix guards against concatenation collisions).
+  DigestBuilder& str(const std::string& s);
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+}  // namespace cstf

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "la/blas.hpp"
@@ -47,6 +48,37 @@ void normalize_device(simgpu::Device& dev, Matrix& h,
 
 }  // namespace
 
+/// Per-op accounting hook: reproduces the legacy driver's wall-clock and
+/// modeled-time phase attribution. Modeled time is marked at phase-op
+/// boundaries, so an unphased op's share (the fit capture) rolls into the
+/// next closed phase, exactly as before; fit ops stay outside the four-phase
+/// breakdown entirely.
+class Auntf::PhaseObserver final : public exec::OpObserver {
+ public:
+  explicit PhaseObserver(Auntf& self)
+      : self_(self), modeled_mark_(self.dev_.modeled_time_s()) {}
+
+  void on_op_begin(const exec::Op& op, int index) override {
+    (void)op;
+    (void)index;
+    timer_.reset();
+  }
+
+  void on_op_end(const exec::Op& op, int index) override {
+    (void)index;
+    if (op.phase.empty() || op.kind == exec::OpKind::kFit) return;
+    self_.phases_.add(op.phase, timer_.seconds());
+    const double now = self_.dev_.modeled_time_s();
+    self_.modeled_phase_[op.phase] += now - modeled_mark_;
+    modeled_mark_ = now;
+  }
+
+ private:
+  Auntf& self_;
+  double modeled_mark_;
+  Timer timer_;
+};
+
 Auntf::Auntf(simgpu::Device& dev, const MttkrpBackend& backend,
              const UpdateMethod& update, AuntfOptions options)
     : Auntf(dev, backend,
@@ -90,109 +122,120 @@ void Auntf::initialize() {
   phases_.clear();
   modeled_phase_.clear();
   dev_.reset();
-  if (options_.pipeline_streams && !gram_stream_created_) {
-    gram_stream_ = dev_.create_stream("gram");
-    gram_stream_created_ = true;
-  }
   initialized_ = true;
+}
+
+exec::PlanKey Auntf::plan_key() const {
+  // Tensor identity: the backend instance plus its shape/nnz signature (a
+  // re-ingested tensor at the same address with different contents still
+  // re-keys through nnz/dims).
+  DigestBuilder tensor_id;
+  tensor_id.u64(static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(&backend_)));
+  tensor_id.u64(static_cast<std::uint64_t>(backend_.nnz()));
+  for (int m = 0; m < backend_.num_modes(); ++m) {
+    tensor_id.u64(static_cast<std::uint64_t>(backend_.dim(m)));
+  }
+  // Structure-affecting options; convergence knobs (max_iterations,
+  // fit_tolerance) deliberately excluded — they do not change the plan.
+  DigestBuilder opts;
+  opts.boolean(options_.pipeline_streams)
+      .boolean(options_.compute_fit)
+      .u64(options_.plan_digest_extra);
+  return exec::PlanKey{tensor_id.value(),
+                       static_cast<std::uint64_t>(options_.rank),
+                       opts.value()};
+}
+
+exec::Plan Auntf::compile_plan() {
+  exec::AoIterationSpec spec;
+  spec.num_modes = backend_.num_modes();
+  spec.rank = options_.rank;
+  spec.pipeline = options_.pipeline_streams;
+  spec.compute_fit = options_.compute_fit;
+  spec.tensor_bytes =
+      options_.tensor_device_bytes > 0.0
+          ? options_.tensor_device_bytes
+          : static_cast<double>(backend_.nnz()) *
+                (static_cast<double>(backend_.num_modes()) * sizeof(index_t) +
+                 sizeof(real_t));
+  for (int m = 0; m < spec.num_modes; ++m) {
+    spec.mode_rows.push_back(backend_.dim(m));
+  }
+
+  Auntf* self = this;
+  spec.hadamard = [self](exec::ExecContext& ctx, int n) {
+    hadamard_of_grams(ctx.device, self->grams_, n, self->ws_.s, ctx.stream);
+  };
+  spec.mttkrp = [self](exec::ExecContext& ctx, int n) {
+    const Matrix& h = self->factors_[static_cast<std::size_t>(n)];
+    if (!self->ws_.m_out.same_shape(h)) {
+      self->ws_.m_out.resize(h.rows(), h.cols());
+    }
+    self->backend_.mttkrp(ctx.device, self->factors_, n, self->ws_.m_out);
+  };
+  spec.update = [self](exec::ExecContext& ctx, int n) {
+    self->updates_[static_cast<std::size_t>(n)]->update(
+        ctx.device, self->ws_.s, self->ws_.m_out,
+        self->factors_[static_cast<std::size_t>(n)],
+        self->states_[static_cast<std::size_t>(n)]);
+  };
+  spec.normalize = [self](exec::ExecContext& ctx, int n) {
+    normalize_device(ctx.device, self->factors_[static_cast<std::size_t>(n)],
+                     self->lambda_);
+  };
+  spec.gram_recompute = [self](exec::ExecContext& ctx, int n) {
+    simgpu::dsyrk_gram(ctx.device,
+                       self->factors_[static_cast<std::size_t>(n)],
+                       self->grams_[static_cast<std::size_t>(n)], ctx.stream);
+  };
+  spec.fit_capture = [self](exec::ExecContext& ctx) {
+    // Fit needs the unnormalized Gram of the final mode and its MTTKRP
+    // result; capture before normalization rescales H.
+    const auto last =
+        static_cast<std::size_t>(self->backend_.num_modes() - 1);
+    simgpu::dsyrk_gram(ctx.device, self->factors_[last],
+                       self->ws_.gram_unnorm);
+    self->ws_.last_m = self->ws_.m_out;
+  };
+  spec.fit = [self](exec::ExecContext& ctx) {
+    (void)ctx;
+    self->ws_.fit = self->fit_from_workspace();
+  };
+  return exec::Planner::compile_ao_iteration(spec);
+}
+
+void Auntf::ensure_executor() {
+  std::shared_ptr<const exec::Plan> plan =
+      plan_cache_.get(plan_key(), [&] { return compile_plan(); });
+  if (executor_ == nullptr || &executor_->plan() != plan.get()) {
+    executor_ = std::make_unique<exec::Executor>(dev_, std::move(plan));
+  }
+}
+
+const exec::Plan& Auntf::plan() {
+  ensure_executor();
+  return executor_->plan();
 }
 
 real_t Auntf::iterate() {
   CSTF_CHECK_MSG(initialized_, "call initialize() before iterate()");
-  const int modes = backend_.num_modes();
+  ensure_executor();
   const index_t rank = options_.rank;
-
-  Matrix s(rank, rank);
-  Matrix m_out;
-  Matrix last_m;               // MTTKRP result of the final mode (for fit)
-  Matrix gram_unnorm(rank, rank);
-
-  // Tracks modeled time at phase boundaries so each phase's share can be
-  // attributed (modeled_time_s is additive over recorded kernels).
-  double modeled_mark = dev_.modeled_time_s();
-  auto close_phase = [&](const char* phase) {
-    const double now = dev_.modeled_time_s();
-    modeled_phase_[phase] += now - modeled_mark;
-    modeled_mark = now;
-  };
-
-  // With pipeline_streams, the R^2 Gram work of mode n runs on its own
-  // stream concurrently with mode n's default-stream MTTKRP (both only need
-  // the factors as of Normalize_{n-1}); events join the two before the
-  // update, and the next mode's Gram work waits for the normalize it reads.
-  const bool pipe = options_.pipeline_streams;
-  const simgpu::Stream gram_stream = pipe ? gram_stream_ : simgpu::Stream{};
-
-  for (int n = 0; n < modes; ++n) {
-    Matrix& h = factors_[static_cast<std::size_t>(n)];
-
-    {
-      auto t = phases_.scope(phase::kGram);
-      simgpu::ScopedPhase tp(dev_.tracer(), phase::kGram);
-      hadamard_of_grams(dev_, grams_, n, s, gram_stream);
-    }
-    close_phase(phase::kGram);
-
-    {
-      auto t = phases_.scope(phase::kMttkrp);
-      simgpu::ScopedPhase tp(dev_.tracer(), phase::kMttkrp);
-      if (!m_out.same_shape(h)) m_out.resize(h.rows(), h.cols());
-      backend_.mttkrp(dev_, factors_, n, m_out);
-    }
-    close_phase(phase::kMttkrp);
-
-    {
-      auto t = phases_.scope(phase::kUpdate);
-      simgpu::ScopedPhase tp(dev_.tracer(), phase::kUpdate);
-      if (pipe) {
-        // The update consumes S (gram stream) and M (default stream).
-        dev_.wait_event(simgpu::Stream{}, dev_.record_event(gram_stream));
-      }
-      updates_[static_cast<std::size_t>(n)]->update(
-          dev_, s, m_out, h, states_[static_cast<std::size_t>(n)]);
-    }
-    close_phase(phase::kUpdate);
-
-    const bool last_mode = (n == modes - 1);
-    if (last_mode && options_.compute_fit) {
-      // Fit needs the unnormalized Gram of the final mode and its MTTKRP
-      // result; capture before normalization rescales H.
-      simgpu::dsyrk_gram(dev_, h, gram_unnorm);
-      last_m = m_out;
-    }
-
-    {
-      auto t = phases_.scope(phase::kNormalize);
-      simgpu::ScopedPhase tp(dev_.tracer(), phase::kNormalize);
-      normalize_device(dev_, h, lambda_);
-    }
-    close_phase(phase::kNormalize);
-
-    {
-      auto t = phases_.scope(phase::kGram);
-      simgpu::ScopedPhase tp(dev_.tracer(), phase::kGram);
-      if (pipe) {
-        // The Gram recompute reads the just-normalized factor; once ordered
-        // after it, the recompute overlaps the next mode's MTTKRP.
-        dev_.wait_event(gram_stream, dev_.record_event(simgpu::Stream{}));
-      }
-      simgpu::dsyrk_gram(dev_, h, grams_[static_cast<std::size_t>(n)],
-                         gram_stream);
-    }
-    close_phase(phase::kGram);
+  if (ws_.s.rows() != rank || ws_.s.cols() != rank) ws_.s.resize(rank, rank);
+  if (ws_.gram_unnorm.rows() != rank || ws_.gram_unnorm.cols() != rank) {
+    ws_.gram_unnorm.resize(rank, rank);
   }
+  ws_.fit = std::numeric_limits<real_t>::quiet_NaN();
+
+  PhaseObserver observer(*this);
+  executor_->run(&observer);
 
   if (!options_.compute_fit) return std::numeric_limits<real_t>::quiet_NaN();
-  return compute_fit(last_m, gram_unnorm);
+  return ws_.fit;
 }
 
-real_t Auntf::compute_fit(const Matrix& last_m,
-                          const Matrix& gram_unnormalized) {
-  simgpu::ScopedPhase tp(dev_.tracer(), "FIT");
-  if (options_.pipeline_streams) {
-    // Fit reads the cached Grams last written on the gram stream.
-    dev_.wait_event(simgpu::Stream{}, dev_.record_event(gram_stream_));
-  }
+real_t Auntf::fit_from_workspace() {
   const int modes = backend_.num_modes();
   const index_t rank = options_.rank;
   const int last = modes - 1;
@@ -200,7 +243,7 @@ real_t Auntf::compute_fit(const Matrix& last_m,
   // ||X_hat||^2 = sum_{r,s} [gram_unnorm(last) .* prod_{m != last} G_m]_{rs}.
   Matrix had(rank, rank);
   hadamard_of_grams(dev_, grams_, last, had);
-  la::hadamard_inplace(had, gram_unnormalized);
+  la::hadamard_inplace(had, ws_.gram_unnorm);
   real_t model_sq = 0.0;
   for (index_t j = 0; j < rank; ++j) {
     for (index_t i = 0; i < rank; ++i) model_sq += had(i, j);
@@ -210,15 +253,15 @@ real_t Auntf::compute_fit(const Matrix& last_m,
   // already normalized, so fold lambda back per column.
   const Matrix& h_last = factors_[static_cast<std::size_t>(last)];
   simgpu::KernelStats stats;
-  stats.flops = 2.0 * static_cast<double>(last_m.size());
+  stats.flops = 2.0 * static_cast<double>(ws_.last_m.size());
   stats.bytes_streamed =
-      2.0 * static_cast<double>(last_m.size()) * simgpu::kWord;
-  stats.parallel_items = static_cast<double>(last_m.size());
+      2.0 * static_cast<double>(ws_.last_m.size()) * simgpu::kWord;
+  stats.parallel_items = static_cast<double>(ws_.last_m.size());
   dev_.record("fit_inner_product", stats);
   real_t inner = 0.0;
   for (index_t r = 0; r < rank; ++r) {
     inner += lambda_[static_cast<std::size_t>(r)] *
-             la::dot(h_last.rows(), h_last.col(r), last_m.col(r));
+             la::dot(h_last.rows(), h_last.col(r), ws_.last_m.col(r));
   }
 
   const real_t x_sq = backend_.norm_sq();
@@ -335,10 +378,6 @@ void Auntf::import_state(const TrainerState& state) {
   phases_.clear();
   modeled_phase_.clear();
   dev_.reset();
-  if (options_.pipeline_streams && !gram_stream_created_) {
-    gram_stream_ = dev_.create_stream("gram");
-    gram_stream_created_ = true;
-  }
   initialized_ = true;
 }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,8 @@
 #include "common/timer.hpp"
 #include "cstf/backend.hpp"
 #include "cstf/ktensor.hpp"
-#include "simgpu/stream.hpp"
+#include "exec/executor.hpp"
+#include "exec/planner.hpp"
 #include "updates/update_method.hpp"
 
 namespace cstf {
@@ -58,6 +60,16 @@ struct AuntfOptions {
   /// driver and the total completed-iteration count. The checkpoint layer
   /// hooks here to snapshot training state at iteration boundaries.
   std::function<void(const Auntf&, int completed)> on_iteration;
+
+  /// Modeled device bytes of the resident tensor, fed into the compiled
+  /// plan's buffer table so its peak-memory estimate covers the tensor.
+  /// 0 = a COO-equivalent estimate from the backend's nnz.
+  double tensor_device_bytes = 0.0;
+
+  /// Extra configuration digest folded into the plan-cache key, for knobs
+  /// the driver cannot see itself (the framework folds its scatter options
+  /// in here so a scatter-strategy change recompiles the plan).
+  std::uint64_t plan_digest_extra = 0;
 };
 
 struct AuntfResult {
@@ -143,8 +155,25 @@ class Auntf {
   const AuntfOptions& options() const { return options_; }
   simgpu::Device& device() { return dev_; }
 
+  /// The compiled execution plan for one AO iteration, compiling (and
+  /// caching) it on first use. The plan carries the op DAG, lane/event
+  /// structure, buffer lifetimes, and the peak-memory estimate that
+  /// `cstf_info --plan` dumps.
+  const exec::Plan& plan();
+
+  /// The plan-cache key for this driver's configuration: tensor identity,
+  /// rank, and a digest of the structure-affecting options.
+  exec::PlanKey plan_key() const;
+
+  /// Compiled-plan cache; hit/miss counters back the invalidation tests.
+  const exec::PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
-  real_t compute_fit(const Matrix& last_m, const Matrix& gram_unnormalized);
+  class PhaseObserver;
+
+  void ensure_executor();
+  exec::Plan compile_plan();
+  real_t fit_from_workspace();
 
   simgpu::Device& dev_;
   const MttkrpBackend& backend_;
@@ -166,8 +195,22 @@ class Auntf {
 
   PhaseTimer phases_;
   std::map<std::string, double> modeled_phase_;
-  simgpu::Stream gram_stream_{};  // created lazily when pipeline_streams
-  bool gram_stream_created_ = false;
+
+  // Plan closures reach factors/grams/state through `this` plus this
+  // workspace (factors_ reallocates on initialize(), so closures never
+  // capture Matrix pointers). The workspace persists across iterations;
+  // every field is fully overwritten before it is read.
+  struct IterationWorkspace {
+    Matrix s;            // Hadamard-of-Grams S^(n)
+    Matrix m_out;        // MTTKRP output
+    Matrix last_m;       // final mode's MTTKRP result (fit)
+    Matrix gram_unnorm;  // unnormalized Gram of the final mode (fit)
+    real_t fit = 0.0;
+  };
+  IterationWorkspace ws_;
+
+  exec::PlanCache plan_cache_;
+  std::unique_ptr<exec::Executor> executor_;
   bool initialized_ = false;
 };
 

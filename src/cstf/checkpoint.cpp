@@ -6,6 +6,8 @@
 #include <fstream>
 #include <vector>
 
+#include "common/digest.hpp"
+
 namespace cstf {
 
 namespace {
@@ -27,25 +29,23 @@ void read_matrix(HashingReader& r, Matrix& m, const char* what) {
 
 std::uint64_t digest_training_options(const FrameworkOptions& options) {
   // Field order is part of the digest definition; bump
-  // kCheckpointFormatVersion if it changes.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](const void* data, std::size_t len) {
-    h = fnv1a64(data, len, h);
-  };
-  const auto mix_u64 = [&](std::uint64_t v) { mix(&v, sizeof(v)); };
-  const auto mix_f64 = [&](double v) { mix(&v, sizeof(v)); };
-  mix_u64(static_cast<std::uint64_t>(options.rank));
-  mix_u64(options.seed);
-  mix_u64(static_cast<std::uint64_t>(options.scheme));
-  mix_u64(static_cast<std::uint64_t>(options.prox.kind()));
-  mix_f64(options.prox.param_a());
-  mix_f64(options.prox.param_b());
-  mix_u64(static_cast<std::uint64_t>(options.admm_inner_iterations));
-  mix_u64(static_cast<std::uint64_t>(options.blco_block_capacity));
-  mix_u64(static_cast<std::uint64_t>(options.scatter.strategy));
-  mix_u64(options.scatter.deterministic ? 1 : 0);
-  mix_u64(options.compute_fit ? 1 : 0);
-  return h;
+  // kCheckpointFormatVersion if it changes. Convergence and checkpoint
+  // cadence knobs (max_iterations, fit_tolerance, checkpoint_*) are
+  // deliberately excluded: a resumed run may legitimately extend or
+  // re-schedule a training job without invalidating its checkpoints.
+  DigestBuilder d;
+  d.u64(static_cast<std::uint64_t>(options.rank))
+      .u64(options.seed)
+      .u64(static_cast<std::uint64_t>(options.scheme))
+      .u64(static_cast<std::uint64_t>(options.prox.kind()))
+      .f64(options.prox.param_a())
+      .f64(options.prox.param_b())
+      .u64(static_cast<std::uint64_t>(options.admm_inner_iterations))
+      .u64(static_cast<std::uint64_t>(options.blco_block_capacity))
+      .u64(static_cast<std::uint64_t>(options.scatter.strategy))
+      .boolean(options.scatter.deterministic)
+      .boolean(options.compute_fit);
+  return d.value();
 }
 
 void save_checkpoint(const TrainingCheckpoint& checkpoint,

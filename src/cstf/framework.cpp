@@ -1,5 +1,6 @@
 #include "cstf/framework.hpp"
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "cstf/checkpoint.hpp"
 
@@ -50,6 +51,14 @@ CstfFramework::CstfFramework(const SparseTensor& tensor,
   auntf.compute_fit = options_.compute_fit;
   auntf.seed = options_.seed;
   auntf.pipeline_streams = options_.pipeline_streams;
+  auntf.tensor_device_bytes = backend_.tensor().storage_bytes();
+  // Scatter options change the MTTKRP op bodies' behavior without being
+  // visible to the driver; fold them into the plan-cache key so a
+  // scatter-strategy change recompiles the plan.
+  DigestBuilder scatter_digest;
+  scatter_digest.u64(static_cast<std::uint64_t>(options_.scatter.strategy))
+      .boolean(options_.scatter.deterministic);
+  auntf.plan_digest_extra = scatter_digest.value();
   if (options_.checkpoint_every > 0) {
     CSTF_CHECK_MSG(!options_.checkpoint_path.empty(),
                    "checkpoint_every > 0 requires checkpoint_path");
@@ -101,21 +110,12 @@ AuntfResult CstfFramework::run() {
   return result;
 }
 
-double CstfFramework::device_footprint_bytes() const {
-  const double rank = static_cast<double>(options_.rank);
-  double bytes = backend_.tensor().storage_bytes();
-  double max_rows = 0.0;
-  for (int m = 0; m < backend_.num_modes(); ++m) {
-    const auto rows = static_cast<double>(backend_.dim(m));
-    max_rows = std::max(max_rows, rows);
-    // Factor + persistent ADMM dual per mode.
-    bytes += 2.0 * rows * rank * sizeof(real_t);
-  }
-  // MTTKRP output + the two reusable update scratch buffers (sized by the
-  // longest mode), plus the R x R Gram/Cholesky matrices.
-  bytes += 3.0 * max_rows * rank * sizeof(real_t);
-  bytes += 4.0 * rank * rank * sizeof(real_t);
-  return bytes;
+double CstfFramework::device_footprint_bytes() {
+  // The compiled plan's buffer table covers exactly the resident set a full
+  // run needs: the BLCO tensor, factor + dual per mode, the MTTKRP output
+  // and update scratch (sized by the longest mode), and the R x R Gram
+  // family. Peak is its maximum over op-lifetime-overlapping buffers.
+  return driver_->plan().peak_bytes();
 }
 
 }  // namespace cstf

@@ -1,0 +1,157 @@
+// Planner — compiles one iteration of each AO-style loop into a Plan.
+//
+// This is the single home of the scheduling rules that used to be
+// hand-rolled per call site:
+//  * the batch AO-ADMM iteration (auntf), with the optional gram-lane
+//    pipeline (Gram_n overlaps MTTKRP_n; both depend only on
+//    Normalize_{n-1}; the update joins them);
+//  * the fixed-span variant of the same schedule benches use to model
+//    overlap from already-scaled per-mode phase times;
+//  * the multi-GPU chunked compute-vs-ring-all-reduce overlap (the
+//    all-reduce of chunk i starts once every shard finished chunk i);
+//  * the streaming ingest pipeline (slice staging on a copy lane,
+//    double-buffered against the previous slice's compute);
+//  * the serving fold-in solve (RHS gather -> Gram -> fused ADMM).
+//
+// Callers supply the op *bodies* (closures issuing the actual metered
+// kernels); the planner supplies the *structure*: lanes, dependency edges,
+// typed ops, and buffer lifetimes. The Executor then realizes the structure
+// as stream/event wiring. Plans are cached via PlanCache, keyed by (tensor
+// identity, rank, options digest), and invalidated exactly like
+// ScatterPlanCache: a key change drops the slot and recompiles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "exec/op_graph.hpp"
+
+namespace cstf::exec {
+
+/// Spec for one batch AO iteration (the AUNTF driver's loop body). The
+/// per-mode bodies receive the mode index; fit bodies are used only when
+/// `compute_fit` is set.
+struct AoIterationSpec {
+  int num_modes = 0;
+  index_t rank = 0;
+  bool pipeline = false;        ///< gram work on its own lane
+  bool compute_fit = false;
+  bool with_dual = true;        ///< update scheme keeps a per-mode dual
+  double tensor_bytes = 0.0;    ///< device-resident tensor (peak-memory model)
+  std::vector<index_t> mode_rows;
+
+  std::function<void(ExecContext&, int)> hadamard;       // S^(n) assembly
+  std::function<void(ExecContext&, int)> mttkrp;         // M^(n)
+  std::function<void(ExecContext&, int)> update;         // H^(n)
+  std::function<void(ExecContext&, int)> normalize;
+  std::function<void(ExecContext&, int)> gram_recompute; // G_n from H^(n)
+  std::function<void(ExecContext&)> fit_capture;  // pre-normalize snapshot
+  std::function<void(ExecContext&)> fit;          // post-loop fit value
+};
+
+/// Fixed-duration per-mode phase times for the bench variant of the AO
+/// pipeline (already scaled to the full dataset).
+struct FixedModePhases {
+  double gram_s = 0.0;
+  double mttkrp_s = 0.0;
+  double update_s = 0.0;
+  double normalize_s = 0.0;
+};
+
+/// Spec for the multi-GPU chunked compute/all-reduce overlap: shard d's
+/// compute is split into `chunks` equal fixed spans on lane d, and chunk i's
+/// all-reduce (duration `chunk_comm_s`) runs on a communication lane once
+/// every shard finished its chunk i.
+struct ChunkedAllReduceSpec {
+  std::vector<double> shard_compute_s;  ///< full per-shard compute times
+  int chunks = 1;
+  double chunk_comm_s = 0.0;
+};
+
+/// Spec for one streaming ingest (one time slice). When `staging` is set the
+/// slice transfer runs on a copy lane and waits on the Executor's external
+/// event (the compute-done event of the slice whose buffer it reuses).
+struct StreamingIngestSpec {
+  int num_modes = 0;
+  index_t rank = 0;
+  bool staging = false;
+  double slice_bytes = 0.0;     ///< staged slice footprint (peak-memory model)
+  std::vector<index_t> mode_rows;
+
+  std::function<void(ExecContext&)> stage;
+  std::function<void(ExecContext&)> temporal_project;
+  std::function<void(ExecContext&)> temporal_solve;
+  std::function<void(ExecContext&, int)> mode_mttkrp;
+  std::function<void(ExecContext&, int)> mode_fold;    // P/Q aging
+  std::function<void(ExecContext&, int)> mode_update;
+  std::function<void(ExecContext&, int)> mode_gram;
+};
+
+/// Spec for one serving fold-in solve (single lane; the value of compiling
+/// it is the uniform hook/trace/fault surface and the --plan dump).
+struct FoldInSpec {
+  index_t rank = 0;
+  index_t batch_rows = 0;       ///< solve height for the peak-memory model
+  bool build_gram = false;      ///< rebuild+factorize the Gram system per call
+  std::function<void(ExecContext&)> rhs;
+  std::function<void(ExecContext&)> gram_build;
+  std::function<void(ExecContext&)> solve;
+};
+
+class Planner {
+ public:
+  static Plan compile_ao_iteration(const AoIterationSpec& spec);
+  static Plan compile_fixed_pipeline(const std::vector<FixedModePhases>& modes);
+  static Plan compile_chunked_allreduce(const ChunkedAllReduceSpec& spec);
+  static Plan compile_streaming_ingest(const StreamingIngestSpec& spec);
+  static Plan compile_fold_in(const FoldInSpec& spec);
+};
+
+/// Cache key: tensor identity (address/nnz-derived token), factorization
+/// rank, and a digest of every option that changes the compiled structure.
+struct PlanKey {
+  std::uint64_t tensor_id = 0;
+  std::uint64_t rank = 0;
+  std::uint64_t options_digest = 0;
+
+  friend bool operator==(const PlanKey& a, const PlanKey& b) {
+    return a.tensor_id == b.tensor_id && a.rank == b.rank &&
+           a.options_digest == b.options_digest;
+  }
+};
+
+/// Single-slot compiled-plan cache (the plan-level analogue of
+/// ScatterPlanCache): a matching key reuses the cached plan, a mismatch
+/// recompiles, clear() drops the slot. Hit/miss counters are exposed so
+/// tests can assert invalidation behavior.
+class PlanCache {
+ public:
+  template <typename Build>
+  std::shared_ptr<const Plan> get(const PlanKey& key, const Build& build) {
+    if (plan_ != nullptr && key == key_) {
+      ++hits_;
+      return plan_;
+    }
+    ++misses_;
+    key_ = key;
+    plan_ = std::make_shared<const Plan>(build());
+    return plan_;
+  }
+
+  /// Drops the cached plan (callers whose tensor changes between solves —
+  /// the streaming path — must clear or re-key before reuse).
+  void clear() { plan_.reset(); }
+
+  bool cached() const { return plan_ != nullptr; }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  PlanKey key_{};
+  std::shared_ptr<const Plan> plan_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace cstf::exec

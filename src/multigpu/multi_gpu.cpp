@@ -4,6 +4,8 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "exec/executor.hpp"
+#include "exec/planner.hpp"
 #include "mttkrp/blco_mttkrp.hpp"
 #include "parallel/parallel_for.hpp"
 #include "perfmodel/admm_model.hpp"
@@ -105,28 +107,21 @@ double MultiGpuCstf::modeled_mttkrp_time_overlapped(int mode, index_t rank,
                               static_cast<double>(rank) * simgpu::kWord *
                               dim_scale;
 
-  // Schedules one candidate chunking on a scratch timeline: device lanes
-  // carry fixed compute spans (externally modeled, so they don't contend for
-  // the scratch device's bandwidth), and the all-reduce of chunk i waits on
-  // an event from every lane's chunk i.
+  // Compiles one candidate chunking into an execution plan (device lanes
+  // carry fixed compute spans — externally modeled, so they don't contend
+  // for the scratch device's bandwidth — and the all-reduce of chunk i
+  // depends on every lane's chunk i) and replays it on a scratch timeline.
   const auto makespan_for = [&](int c) {
-    simgpu::Device timeline(options_.device);
-    std::vector<simgpu::Stream> lanes;
-    lanes.reserve(devices_.size());
-    for (std::size_t d = 0; d < devices_.size(); ++d) {
-      lanes.push_back(timeline.create_stream("gpu" + std::to_string(d)));
-    }
-    const simgpu::Stream comm = timeline.create_stream("allreduce");
-    const double chunk_reduce_s =
+    exec::ChunkedAllReduceSpec spec;
+    spec.shard_compute_s = shard_s;
+    spec.chunks = c;
+    spec.chunk_comm_s =
         allreduce_time(options_, reduce_bytes / static_cast<double>(c));
-    for (int i = 0; i < c; ++i) {
-      for (std::size_t d = 0; d < devices_.size(); ++d) {
-        timeline.record_fixed("mttkrp_chunk",
-                              shard_s[d] / static_cast<double>(c), lanes[d]);
-        timeline.wait_event(comm, timeline.record_event(lanes[d]));
-      }
-      timeline.record_fixed("allreduce_chunk", chunk_reduce_s, comm);
-    }
+    simgpu::Device timeline(options_.device);
+    exec::Executor executor(
+        timeline, std::make_shared<const exec::Plan>(
+                      exec::Planner::compile_chunked_allreduce(spec)));
+    executor.run();
     return timeline.modeled_makespan_s();
   };
 

@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "exec/executor.hpp"
+#include "exec/planner.hpp"
 #include "serve/model_store.hpp"
 #include "serve/runtime.hpp"
 #include "serve/serve_stats.hpp"
@@ -118,9 +120,35 @@ class FoldInEngine {
   /// Per-call latency (one sample per fold_in / fold_in_batch invocation).
   LatencyRecorder& latency() { return latency_; }
 
+  /// Compiled fold-in plan cache, keyed by (snapshot generation, mode, batch
+  /// shape, solve options): repeated same-shape batches against the same
+  /// snapshot reuse the plan; a hot-swap or batch-shape change recompiles.
+  const exec::PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   void check_request(const ServableModel& model,
                      const FoldInRequest& req) const;
+  void ensure_executor(const ServableModel& model, int mode, index_t batch);
+  exec::PlanKey plan_key(const ServableModel& model, int mode,
+                         index_t batch) const;
+  exec::Plan compile_plan(index_t rank, index_t batch);
+
+  // Guarded by runtime_.submit_mu (one fused solve at a time): the cached
+  // plan's op bodies reach the current call's model and requests through
+  // this workspace.
+  struct Workspace {
+    const ServableModel* model = nullptr;
+    const std::vector<FoldInRequest>* reqs = nullptr;
+    int mode = 0;
+    Matrix m;          // batch x R right-hand sides
+    Matrix h;          // solved rows
+    AdmmGram rebuilt;  // per-call Gram system (non-cached path)
+    const AdmmGram* gram = nullptr;
+    AdmmDiagnostics diagnostics;
+  };
+  Workspace ws_;
+  exec::PlanCache plan_cache_;
+  std::unique_ptr<exec::Executor> executor_;
 
   ServeRuntime& runtime_;
   FoldInOptions options_;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <vector>
 
+#include "common/digest.hpp"
 #include "mttkrp/scatter.hpp"
 
 namespace cstf::serve {
@@ -24,25 +25,20 @@ constexpr std::uint32_t kMaxNameBytes = 1u << 16;
 std::uint64_t digest_options(const FrameworkOptions& options) {
   // Hash the fields that change what model a run produces. Field order is
   // part of the digest definition; bump kModelFormatVersion if it changes.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](const void* data, std::size_t len) {
-    h = fnv1a64(data, len, h);
-  };
-  const auto mix_u64 = [&](std::uint64_t v) { mix(&v, sizeof(v)); };
-  const auto mix_f64 = [&](double v) { mix(&v, sizeof(v)); };
-  mix_u64(static_cast<std::uint64_t>(options.rank));
-  mix_u64(static_cast<std::uint64_t>(options.max_iterations));
-  mix_f64(options.fit_tolerance);
-  mix_u64(options.seed);
-  mix_u64(static_cast<std::uint64_t>(options.scheme));
-  mix_u64(static_cast<std::uint64_t>(options.prox.kind()));
-  mix_f64(options.prox.param_a());
-  mix_f64(options.prox.param_b());
-  mix_u64(static_cast<std::uint64_t>(options.admm_inner_iterations));
-  mix_u64(static_cast<std::uint64_t>(options.blco_block_capacity));
-  mix_u64(static_cast<std::uint64_t>(options.scatter.strategy));
-  mix_u64(options.scatter.deterministic ? 1 : 0);
-  return h;
+  DigestBuilder d;
+  d.u64(static_cast<std::uint64_t>(options.rank))
+      .u64(static_cast<std::uint64_t>(options.max_iterations))
+      .f64(options.fit_tolerance)
+      .u64(options.seed)
+      .u64(static_cast<std::uint64_t>(options.scheme))
+      .u64(static_cast<std::uint64_t>(options.prox.kind()))
+      .f64(options.prox.param_a())
+      .f64(options.prox.param_b())
+      .u64(static_cast<std::uint64_t>(options.admm_inner_iterations))
+      .u64(static_cast<std::uint64_t>(options.blco_block_capacity))
+      .u64(static_cast<std::uint64_t>(options.scatter.strategy))
+      .boolean(options.scatter.deterministic);
+  return d.value();
 }
 
 void save_model(const SavedModel& saved, const std::string& path) {

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "cstf/ktensor.hpp"
+#include "exec/executor.hpp"
+#include "exec/planner.hpp"
 #include "mttkrp/scatter.hpp"
 #include "simgpu/device.hpp"
 #include "tensor/coo.hpp"
@@ -88,8 +90,16 @@ class StreamingCstf {
 
   simgpu::Device& device() { return device_; }
 
+  /// Compiled ingest-plan cache: keyed by (slice nnz, rank, options digest),
+  /// so a same-shape slice reuses the compiled plan and an nnz change
+  /// recompiles — its hit/miss counters back the invalidation tests.
+  const exec::PlanCache& plan_cache() const { return exec_plans_; }
+
  private:
   std::vector<real_t> ingest_impl(const SparseTensor& slice);
+  void ensure_executor(const SparseTensor& slice);
+  exec::PlanKey ingest_plan_key(const SparseTensor& slice) const;
+  exec::Plan compile_ingest_plan(const SparseTensor& slice);
 
   StreamingOptions options_;
   std::vector<index_t> dims_;
@@ -115,9 +125,25 @@ class StreamingCstf {
   // refuse rather than silently diverge.
   bool poisoned_ = false;
 
-  // Staging pipeline state (model_staging): the copy stream and the compute
-  // completion events of the two most recent slices (two staging buffers).
-  simgpu::Stream copy_stream_{};
+  // Plan op bodies reach the arriving slice and the per-slice temporaries
+  // through `this` plus this workspace; every field is fully overwritten
+  // before it is read, so reuse across slices is safe.
+  struct IngestWorkspace {
+    const SparseTensor* slice = nullptr;
+    Matrix c;      // temporal RHS (1 x R)
+    Matrix s_all;  // Hadamard of all Grams
+    Matrix s_row;  // solved temporal row (1 x R)
+    Matrix ssT;    // s_row^T s_row
+    Matrix b;      // per-mode weighted MTTKRP output
+  };
+  IngestWorkspace ws_;
+
+  exec::PlanCache exec_plans_;
+  std::unique_ptr<exec::Executor> executor_;
+
+  // Staging pipeline state (model_staging): the compute completion events of
+  // the two most recent slices (two staging buffers); the copy lane itself
+  // belongs to the compiled plan's executor.
   simgpu::Event prev_done_;
   simgpu::Event prev_prev_done_;
 };

@@ -8,12 +8,18 @@
 // indices, average nonzeros per used index — the MTTKRP reuse factor), the
 // update/MTTKRP work ratio of Eq. 3, and the storage cost of each supported
 // format.
+//
+// With --plan, additionally compiles one AO iteration for the tensor (at
+// --rank, optionally --pipeline) and dumps the execution graph: ops with
+// lane assignment and event edges, buffer lifetimes, and the peak
+// device-memory estimate CstfFramework::device_footprint_bytes() reports.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "cstf/framework.hpp"
 #include "formats/alto.hpp"
 #include "formats/blco.hpp"
 #include "formats/csf.hpp"
@@ -28,7 +34,7 @@ using namespace cstf;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: cstf_info (--input FILE.tns | --dataset NAME) "
-               "[--rank N]\n");
+               "[--rank N] [--plan] [--pipeline]\n");
   std::exit(2);
 }
 
@@ -37,6 +43,8 @@ using namespace cstf;
 int main(int argc, char** argv) {
   std::string input, dataset;
   index_t rank = 32;
+  bool show_plan = false;
+  bool pipeline = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -46,6 +54,8 @@ int main(int argc, char** argv) {
     if (arg == "--input") input = value();
     else if (arg == "--dataset") dataset = value();
     else if (arg == "--rank") rank = std::atoll(value().c_str());
+    else if (arg == "--plan") show_plan = true;
+    else if (arg == "--pipeline") pipeline = true;
     else usage();
   }
   if (input.empty() == dataset.empty()) usage();
@@ -115,6 +125,19 @@ int main(int argc, char** argv) {
                 "BLCO", blco.storage_bytes(),
                 blco.storage_bytes() / coo_bytes,
                 blco.encoding().total_bits());
+
+    if (show_plan) {
+      FrameworkOptions opts;
+      opts.rank = rank;
+      opts.pipeline_streams = pipeline;
+      CstfFramework framework(t, opts);
+      std::printf("\ncompiled AO iteration (rank %lld%s):\n%s",
+                  static_cast<long long>(rank),
+                  pipeline ? ", pipelined" : "",
+                  framework.driver().plan().describe().c_str());
+      std::printf("device footprint (plan peak): %.3e bytes\n",
+                  framework.device_footprint_bytes());
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "cstf_info: %s\n", e.what());
     return 1;
