@@ -3,10 +3,12 @@
 # RelWithDebInfo build, then an ASan+UBSan build (-DCSTF_SANITIZE=ON). Any
 # compile error, test failure, or sanitizer report fails the script.
 #
-# After the plain pass, a perf-smoke step runs the scatter-engine fixtures
-# (bench_host_wallclock --smoke): it fails if the privatized strategy is
-# slower than atomic scatter on the short-mode fixture, and validates the
-# emitted JSON telemetry. A serve-smoke step then runs the serve-labeled
+# After the plain pass, a perf-smoke step runs the scatter-engine and
+# MTTKRP-engine fixtures (bench_host_wallclock --smoke): it fails if the
+# privatized strategy is slower than atomic scatter on the short-mode
+# fixture or if the dimension-tree engine is slower than the flat kernels
+# on the 4-way fixture (DESIGN.md §13), and validates the emitted JSON
+# telemetry. A serve-smoke step then runs the serve-labeled
 # ctest group, a full save/load/serve workload through cstf_serve, and the
 # fold-in throughput bench (batched + pre-inverted must beat per-request
 # ADMM on modeled and host clocks at batch >= 8), and a chaos smoke replays
@@ -18,8 +20,9 @@
 # Knobs (env vars): CSTF_CHECK_SKIP_SANITIZE=1 skips the second pass (useful
 # on toolchains without sanitizer runtimes), CSTF_CHECK_SKIP_PERF=1,
 # CSTF_CHECK_TSAN=1 adds a ThreadSanitizer pass (-DCSTF_TSAN=ON) over the
-# exec-labeled ctest group (the executor/plan-cache layer every concurrent
-# path now submits through), CSTF_THREADS.
+# exec- and dimtree-labeled ctest groups (the executor/plan-cache layer
+# every concurrent path now submits through, plus the dimension-tree
+# engine's parallel chain derives), CSTF_THREADS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,7 +34,7 @@ ctest --test-dir build --output-on-failure -j
 if [ "${CSTF_CHECK_SKIP_PERF:-0}" = "1" ]; then
   echo "=== perf smoke skipped (CSTF_CHECK_SKIP_PERF=1)"
 else
-  echo "=== perf smoke: scatter strategies (privatized must beat atomic)"
+  echo "=== perf smoke: scatter strategies + dimtree-vs-flat MTTKRP"
   mkdir -p results/json
   CSTF_BENCH_JSON=1 CSTF_BENCH_JSON_DIR=results/json \
     ./build/bench/bench_host_wallclock --smoke
@@ -62,15 +65,18 @@ else
 fi
 
 if [ "${CSTF_CHECK_TSAN:-0}" = "1" ]; then
-  echo "=== TSan pass: exec-labeled suite under ThreadSanitizer"
+  echo "=== TSan pass: exec- and dimtree-labeled suites under ThreadSanitizer"
   # TSan and ASan cannot share a binary (the configure step enforces the
   # exclusivity), so this is its own build tree. The exec group covers the
   # executor, plan caches, and the trainer/streaming/serving paths that
   # submit through them — the layer where stream/event races would live.
+  # The dimtree group rides along: the chain derives scatter through the
+  # same parallel accumulation engine, and its lazy extends must be race-
+  # free against the plan's explicit extend ops.
   cmake -B build-tsan -S . -DCSTF_TSAN=ON
   cmake --build build-tsan -j
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L exec --output-on-failure
+    ctest --test-dir build-tsan -L 'exec|dimtree' --output-on-failure
 fi
 
 if [ "${CSTF_CHECK_SKIP_SANITIZE:-0}" = "1" ]; then
@@ -84,6 +90,13 @@ cmake --build build-asan -j
 # halt_on_error makes UBSan reports fail the test run instead of just logging.
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir build-asan --output-on-failure -j
+
+echo "=== dimtree group under ASan+UBSan (explicit re-run of the label)"
+# Redundant with the full sanitized suite above, but keeps the dimension-
+# tree engine's pointer-heavy chain arithmetic visibly gated even if the
+# full pass is ever narrowed.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan -L dimtree --output-on-failure
 
 echo "=== chaos smoke under ASan: fault-recovery paths must be leak-free"
 # The retry/degraded paths unwind through exceptions mid-batch; run them under

@@ -122,6 +122,9 @@ void Auntf::initialize() {
   phases_.clear();
   modeled_phase_.clear();
   dev_.reset();
+  // Fresh factors: any chain the reuse engine carried is stale, exactly
+  // like ScatterPlanCache invalidation on re-ingest.
+  if (DimTreeEngine* tree = backend_.dimtree()) tree->invalidate();
   initialized_ = true;
 }
 
@@ -139,8 +142,12 @@ exec::PlanKey Auntf::plan_key() const {
   // Structure-affecting options; convergence knobs (max_iterations,
   // fit_tolerance) deliberately excluded — they do not change the plan.
   DigestBuilder opts;
+  const DimTreeEngine* tree = backend_.dimtree();
   opts.boolean(options_.pipeline_streams)
       .boolean(options_.compute_fit)
+      // Dimtree changes the op set (extend ops, chain buffer, suffix
+      // reads); a budget change that flips chain_fits() must recompile.
+      .boolean(tree != nullptr && tree->chain_fits())
       .u64(options_.plan_digest_extra);
   return exec::PlanKey{tensor_id.value(),
                        static_cast<std::uint64_t>(options_.rank),
@@ -164,21 +171,48 @@ exec::Plan Auntf::compile_plan() {
   }
 
   Auntf* self = this;
+  if (DimTreeEngine* tree = backend_.dimtree()) {
+    // The chain only enters the plan when it fits the budget — in the flat
+    // fallback there is no intermediate to account for and the mttkrp ops
+    // keep their flat read sets.
+    if (tree->chain_fits()) {
+      spec.use_dimtree = true;
+      spec.dimtree_chain_bytes = tree->chain_bytes();
+      spec.dimtree_extend = [self](exec::ExecContext& ctx, int level) {
+        self->backend_.dimtree()->extend_to(ctx.device, self->factors_, level);
+      };
+    }
+  }
   spec.hadamard = [self](exec::ExecContext& ctx, int n) {
     hadamard_of_grams(ctx.device, self->grams_, n, self->ws_.s, ctx.stream);
   };
   spec.mttkrp = [self](exec::ExecContext& ctx, int n) {
-    const Matrix& h = self->factors_[static_cast<std::size_t>(n)];
-    if (!self->ws_.m_out.same_shape(h)) {
-      self->ws_.m_out.resize(h.rows(), h.cols());
+    // m_out is one workspace shared by every mode. Size it to *this* mode
+    // before each call (resize discards and re-zeroes) and validate after:
+    // a shape left over from a larger mode would hand the update stale
+    // trailing rows, a hazard that stays latent while modes happen to run
+    // in a monotone size order.
+    const index_t rows = self->backend_.dim(n);
+    const index_t rank = self->options_.rank;
+    if (self->ws_.m_out.rows() != rows || self->ws_.m_out.cols() != rank) {
+      self->ws_.m_out.resize(rows, rank);
     }
     self->backend_.mttkrp(ctx.device, self->factors_, n, self->ws_.m_out);
+    CSTF_CHECK_MSG(
+        self->ws_.m_out.rows() == rows && self->ws_.m_out.cols() == rank,
+        "mttkrp workspace shape drifted for mode " << n);
   };
   spec.update = [self](exec::ExecContext& ctx, int n) {
     self->updates_[static_cast<std::size_t>(n)]->update(
         ctx.device, self->ws_.s, self->ws_.m_out,
         self->factors_[static_cast<std::size_t>(n)],
         self->states_[static_cast<std::size_t>(n)]);
+    // Chain levels that folded this factor are stale from here on (the
+    // explicit extend op re-folds the fresh contents right after
+    // normalization).
+    if (DimTreeEngine* tree = self->backend_.dimtree()) {
+      tree->note_factor_updated(n);
+    }
   };
   spec.normalize = [self](exec::ExecContext& ctx, int n) {
     normalize_device(ctx.device, self->factors_[static_cast<std::size_t>(n)],
@@ -378,6 +412,7 @@ void Auntf::import_state(const TrainerState& state) {
   phases_.clear();
   modeled_phase_.clear();
   dev_.reset();
+  if (DimTreeEngine* tree = backend_.dimtree()) tree->invalidate();
   initialized_ = true;
 }
 

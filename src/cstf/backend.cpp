@@ -1,5 +1,6 @@
 #include "cstf/backend.hpp"
 
+#include "common/error.hpp"
 #include "mttkrp/alto_mttkrp.hpp"
 #include "mttkrp/blco_mttkrp.hpp"
 #include "mttkrp/coo_mttkrp.hpp"
@@ -14,9 +15,25 @@ BlcoBackend::BlcoBackend(const SparseTensor& coo, index_t block_capacity,
       norm_sq_(coo.frobenius_norm_sq()),
       scatter_(scatter) {}
 
+void BlcoBackend::enable_dimtree(const SparseTensor& coo, index_t rank,
+                                 double budget_bytes) {
+  CSTF_CHECK_MSG(coo.nnz() == blco_.nnz() &&
+                     coo.num_modes() == blco_.num_modes(),
+                 "enable_dimtree: tensor does not match the ingested BLCO");
+  dimtree_ = std::make_unique<DimTreeEngine>(coo, rank, budget_bytes);
+  // Mode-0 / over-budget derives stream the resident tensor once; charge
+  // them the BLCO storage footprint so the tree's flat term models the
+  // kernel it replaces.
+  dimtree_->set_flat_stream_bytes(blco_.storage_bytes());
+}
+
 void BlcoBackend::mttkrp(simgpu::Device& dev,
                          const std::vector<Matrix>& factors, int mode,
                          Matrix& out) const {
+  if (dimtree_ != nullptr) {
+    last_strategy_ = dimtree_->mttkrp(dev, factors, mode, out, scatter_);
+    return;
+  }
   ScatterOptions opts = scatter_;
   opts.strategy = resolve_scatter_strategy(opts, dim(mode), out.cols(), nnz());
   const ScatterPlan* plan = nullptr;

@@ -44,6 +44,7 @@ std::uint64_t digest_training_options(const FrameworkOptions& options) {
       .u64(static_cast<std::uint64_t>(options.blco_block_capacity))
       .u64(static_cast<std::uint64_t>(options.scatter.strategy))
       .boolean(options.scatter.deterministic)
+      .u64(static_cast<std::uint64_t>(options.mttkrp_mode))
       .boolean(options.compute_fit);
   return d.value();
 }

@@ -44,6 +44,17 @@ CstfFramework::CstfFramework(const SparseTensor& tensor,
       backend_(tensor, options.blco_block_capacity, options.scatter),
       update_(make_update(options.scheme, options.prox,
                           options.admm_inner_iterations)) {
+  resolved_mttkrp_ = options_.mttkrp_mode;
+  if (resolved_mttkrp_ == MttkrpMode::kAuto) {
+    resolved_mttkrp_ = resolve_mttkrp_mode(
+        tensor, options_.rank, options_.scatter, options_.device,
+        options_.dimtree_budget_bytes, backend_.tensor().storage_bytes());
+  }
+  if (resolved_mttkrp_ == MttkrpMode::kDimtree) {
+    backend_.enable_dimtree(tensor, options_.rank,
+                            options_.dimtree_budget_bytes);
+  }
+
   AuntfOptions auntf;
   auntf.rank = options_.rank;
   auntf.max_iterations = options_.max_iterations;
@@ -57,7 +68,8 @@ CstfFramework::CstfFramework(const SparseTensor& tensor,
   // scatter-strategy change recompiles the plan.
   DigestBuilder scatter_digest;
   scatter_digest.u64(static_cast<std::uint64_t>(options_.scatter.strategy))
-      .boolean(options_.scatter.deterministic);
+      .boolean(options_.scatter.deterministic)
+      .u64(static_cast<std::uint64_t>(resolved_mttkrp_));
   auntf.plan_digest_extra = scatter_digest.value();
   if (options_.checkpoint_every > 0) {
     CSTF_CHECK_MSG(!options_.checkpoint_path.empty(),

@@ -61,6 +61,21 @@ struct FrameworkOptions {
   /// bit-identical repeated runs.
   ScatterOptions scatter;
 
+  /// How MTTKRPs are computed (see mttkrp/dimtree.hpp and DESIGN.md §13):
+  /// kFlat uses the per-mode BLCO kernels, kDimtree the prefix-chain reuse
+  /// engine, and kAuto lets resolve_mttkrp_mode model both over one AO
+  /// iteration on `device` and pick the faster. Under
+  /// `scatter.deterministic` each engine is bit-reproducible run to run,
+  /// and dimtree is additionally bit-identical to the COO reference
+  /// `mttkrp_ref` (the flat BLCO kernel regroups per-row sums by block, so
+  /// the two engines agree to fp tolerance, not bitwise).
+  MttkrpMode mttkrp_mode = MttkrpMode::kAuto;
+
+  /// Byte cap on the dimension tree's nnz x R chain intermediate; over
+  /// budget the engine falls back to the flat kernels (and kAuto resolves
+  /// to flat).
+  double dimtree_budget_bytes = kDefaultDimtreeBudgetBytes;
+
   /// Model per-mode Gram work concurrently with MTTKRP on a second stream
   /// (see AuntfOptions::pipeline_streams). Off by default: serial modeling.
   bool pipeline_streams = false;
@@ -106,6 +121,11 @@ class CstfFramework {
   Auntf& driver() { return *driver_; }
   simgpu::Device& device() { return device_; }
   const UpdateMethod& update_method() const { return *update_; }
+  const BlcoBackend& backend() const { return backend_; }
+
+  /// The MTTKRP mode actually in effect after kAuto resolution (never
+  /// kAuto). `cstf_info --plan` and the benches report this.
+  MttkrpMode resolved_mttkrp_mode() const { return resolved_mttkrp_; }
 
   /// Builds an update method for a scheme outside the framework (used by
   /// benches that drive Auntf directly).
@@ -128,6 +148,7 @@ class CstfFramework {
   FrameworkOptions options_;
   simgpu::Device device_;
   BlcoBackend backend_;
+  MttkrpMode resolved_mttkrp_ = MttkrpMode::kFlat;
   std::unique_ptr<UpdateMethod> update_;
   std::unique_ptr<Auntf> driver_;
   bool resumed_ = false;

@@ -414,7 +414,9 @@ TEST(DigestStability, BuilderEncodingIsPinned) {
 
 TEST(DigestStability, TrainingDigestIgnoresConvergenceAndCheckpointKnobs) {
   FrameworkOptions base;
-  EXPECT_EQ(digest_training_options(base), 0x8d655d8b8c28fed5ULL);
+  // Pinned for checkpoint format v2 (the v1->v2 bump added mttkrp_mode to
+  // the digested field list).
+  EXPECT_EQ(digest_training_options(base), 0xbd6413791da79d55ULL);
 
   FrameworkOptions resumable = base;
   resumable.max_iterations = 500;
@@ -436,6 +438,10 @@ TEST(DigestStability, TrainingDigestIgnoresConvergenceAndCheckpointKnobs) {
   FrameworkOptions different_scatter = base;
   different_scatter.scatter.strategy = ScatterStrategy::kSorted;
   EXPECT_NE(digest_training_options(different_scatter),
+            digest_training_options(base));
+  FrameworkOptions different_mttkrp = base;
+  different_mttkrp.mttkrp_mode = MttkrpMode::kDimtree;
+  EXPECT_NE(digest_training_options(different_mttkrp),
             digest_training_options(base));
 }
 

@@ -13,6 +13,11 @@
 //   --device D          a100 | h100 | xeon (cost-model target, default a100)
 //   --scatter S         auto | atomic | privatized | sorted — MTTKRP output
 //                       accumulation strategy (default auto; see DESIGN.md §8)
+//   --mttkrp M          auto | flat | dimtree — MTTKRP engine: flat per-mode
+//                       kernels or the dimension-tree reuse engine; auto
+//                       models both and picks per tensor (DESIGN.md §13)
+//   --dimtree-budget B  byte cap on the dimension tree's chain intermediate
+//                       (default 256 MiB; over budget falls back to flat)
 //   --deterministic     force atomic-free scatter: repeated runs with the
 //                       same seed produce bit-identical factors
 //   --seed N            RNG seed for the factor initialization (default 42)
@@ -63,6 +68,8 @@ using namespace cstf;
                "box:LO,HI|simplex|smooth:W]\n"
                "                [--device a100|h100|xeon]"
                " [--scatter auto|atomic|privatized|sorted]\n"
+               "                [--mttkrp auto|flat|dimtree]"
+               " [--dimtree-budget BYTES]\n"
                "                [--deterministic] [--seed N]"
                " [--output PREFIX]\n"
                "                [--checkpoint-every N --checkpoint-path P]"
@@ -152,6 +159,15 @@ int main(int argc, char** argv) {
         usage(("unknown scatter strategy: " + spec).c_str());
       }
     }
+    else if (arg == "--mttkrp") {
+      const std::string spec = value();
+      if (!parse_mttkrp_mode(spec, &options.mttkrp_mode)) {
+        usage(("unknown mttkrp mode: " + spec).c_str());
+      }
+    }
+    else if (arg == "--dimtree-budget") {
+      options.dimtree_budget_bytes = std::atof(value().c_str());
+    }
     else if (arg == "--deterministic") options.scatter.deterministic = true;
     else if (arg == "--seed") options.seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--output") output = value();
@@ -197,6 +213,10 @@ int main(int argc, char** argv) {
     }
 
     CstfFramework framework(tensor, options);
+    std::printf("mttkrp engine: %s%s\n",
+                mttkrp_mode_name(framework.resolved_mttkrp_mode()),
+                options.mttkrp_mode == MttkrpMode::kAuto
+                    ? " (auto-resolved)" : "");
     simgpu::Tracer tracer;
     if (profile || !trace_path.empty()) {
       framework.device().set_tracer(&tracer);

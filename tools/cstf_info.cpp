@@ -10,9 +10,12 @@
 // format.
 //
 // With --plan, additionally compiles one AO iteration for the tensor (at
-// --rank, optionally --pipeline) and dumps the execution graph: ops with
-// lane assignment and event edges, buffer lifetimes, and the peak
-// device-memory estimate CstfFramework::device_footprint_bytes() reports.
+// --rank, optionally --pipeline, optionally --mttkrp auto|flat|dimtree) and
+// dumps the execution graph: ops with lane assignment and event edges,
+// buffer lifetimes, and the peak device-memory estimate
+// CstfFramework::device_footprint_bytes() reports. When the dimension-tree
+// engine is in effect the dump is followed by the chosen tree: node shapes,
+// reuse factor, and intermediate bytes against the budget (DESIGN.md §13).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -34,7 +37,8 @@ using namespace cstf;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: cstf_info (--input FILE.tns | --dataset NAME) "
-               "[--rank N] [--plan] [--pipeline]\n");
+               "[--rank N] [--plan] [--pipeline] "
+               "[--mttkrp auto|flat|dimtree]\n");
   std::exit(2);
 }
 
@@ -45,6 +49,7 @@ int main(int argc, char** argv) {
   index_t rank = 32;
   bool show_plan = false;
   bool pipeline = false;
+  MttkrpMode mttkrp_mode = MttkrpMode::kAuto;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -56,6 +61,9 @@ int main(int argc, char** argv) {
     else if (arg == "--rank") rank = std::atoll(value().c_str());
     else if (arg == "--plan") show_plan = true;
     else if (arg == "--pipeline") pipeline = true;
+    else if (arg == "--mttkrp") {
+      if (!parse_mttkrp_mode(value(), &mttkrp_mode)) usage();
+    }
     else usage();
   }
   if (input.empty() == dataset.empty()) usage();
@@ -130,13 +138,23 @@ int main(int argc, char** argv) {
       FrameworkOptions opts;
       opts.rank = rank;
       opts.pipeline_streams = pipeline;
+      opts.mttkrp_mode = mttkrp_mode;
       CstfFramework framework(t, opts);
-      std::printf("\ncompiled AO iteration (rank %lld%s):\n%s",
+      std::printf("\ncompiled AO iteration (rank %lld%s, mttkrp %s%s):\n%s",
                   static_cast<long long>(rank),
                   pipeline ? ", pipelined" : "",
+                  mttkrp_mode_name(framework.resolved_mttkrp_mode()),
+                  mttkrp_mode == MttkrpMode::kAuto ? ", auto-resolved" : "",
                   framework.driver().plan().describe().c_str());
       std::printf("device footprint (plan peak): %.3e bytes\n",
                   framework.device_footprint_bytes());
+      if (const DimTreeEngine* tree = framework.backend().dimtree()) {
+        std::printf("\n%s", describe_dimtree(*tree).c_str());
+      } else {
+        std::printf("\nmttkrp engine: flat per-mode kernels "
+                    "(no dimension tree; rerun with --mttkrp dimtree to "
+                    "force one)\n");
+      }
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "cstf_info: %s\n", e.what());
