@@ -207,9 +207,10 @@ exec::Plan Auntf::compile_plan() {
         ctx.device, self->ws_.s, self->ws_.m_out,
         self->factors_[static_cast<std::size_t>(n)],
         self->states_[static_cast<std::size_t>(n)]);
-    // Chain levels that folded this factor are stale from here on (the
-    // explicit extend op re-folds the fresh contents right after
-    // normalization).
+    // If the chain folded this factor, the whole chain is stale (the
+    // in-place buffer cannot shed one level). In the in-order sweep this
+    // is a no-op — level == n here, and the explicit extend op folds the
+    // fresh contents right after normalization.
     if (DimTreeEngine* tree = self->backend_.dimtree()) {
       tree->note_factor_updated(n);
     }

@@ -158,21 +158,35 @@ std::vector<simgpu::KernelStats> flat_sequence_stats(
   return seq;
 }
 
+// Sampled content hash: the shape, the first and last entries, and up to
+// kFingerprintProbes strided probes in between. check_fingerprints runs on
+// every chain-derived MTTKRP, so the backstop must stay O(1) per folded
+// level — a full hash over a long-mode factor (exactly the shapes the
+// resolver sends to dimtree) would erode the reuse win the extend/derive
+// stats model. The price is that the silent-mutation net is probabilistic
+// for entries between probes; note_factor_updated remains the contract.
+constexpr std::size_t kFingerprintProbes = 64;
+
 std::uint64_t content_hash(const Matrix& f) {
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t x) {
     h ^= x;
     h *= 1099511628211ull;
   };
+  const auto mix_entry = [&](std::size_t i, const real_t* p) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &p[i], sizeof bits);
+    mix(bits);
+  };
   mix(static_cast<std::uint64_t>(f.rows()));
   mix(static_cast<std::uint64_t>(f.cols()));
   const real_t* p = f.data();
   const auto count = static_cast<std::size_t>(f.size());
-  for (std::size_t i = 0; i < count; ++i) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &p[i], sizeof bits);
-    mix(bits);
-  }
+  if (count == 0) return h;
+  const std::size_t stride =
+      count > kFingerprintProbes ? count / kFingerprintProbes : 1;
+  for (std::size_t i = 0; i < count; i += stride) mix_entry(i, p);
+  mix_entry(count - 1, p);
   return h;
 }
 
@@ -206,7 +220,13 @@ void DimTreeEngine::invalidate() { level_ = 0; }
 
 void DimTreeEngine::note_factor_updated(int mode) {
   CSTF_CHECK(mode >= 0 && mode < num_modes());
-  if (level_ > mode) level_ = mode;
+  // The chain is folded in place, so the buffer physically holds only
+  // P_{level_}. A stale factor anywhere in the folded prefix therefore
+  // invalidates the whole chain: truncating to an intermediate k > 0 and
+  // re-folding would multiply the fresh factor into a product that still
+  // contains its old value. Only level 0 is re-enterable (fold(0)
+  // overwrites).
+  if (level_ > mode) level_ = 0;
 }
 
 void DimTreeEngine::ensure_chain() {
@@ -227,7 +247,7 @@ void DimTreeEngine::check_fingerprints(const std::vector<Matrix>& factors) {
   for (int k = 0; k < level_; ++k) {
     if (!fps_[static_cast<std::size_t>(k)].matches(
             factors[static_cast<std::size_t>(k)])) {
-      level_ = k;
+      level_ = 0;  // in-place chain: no intermediate level to fall back to
       return;
     }
   }

@@ -29,10 +29,13 @@
 // Memory: the chain is one nnz x R double buffer leased from ScratchPool
 // (`chain_bytes()`); when it exceeds `budget_bytes` the engine releases it
 // and every derive falls back to the flat from-raw path — correctness is
-// unaffected, only the reuse is lost. Staleness: `note_factor_updated` /
-// `invalidate` drop the affected prefix exactly like ScatterPlanCache
-// drops plans, and a per-level factor fingerprint (pointer + content hash)
-// catches callers that mutate a folded factor without telling us.
+// unaffected, only the reuse is lost. Staleness: the chain is folded in
+// place, so the buffer only ever holds its top level — when
+// `note_factor_updated` / `invalidate` (or the fingerprint backstop) find
+// any folded factor stale, the whole chain is dropped and rebuilt from the
+// overwriting level-0 fold; there is no intermediate level to resume from.
+// A per-level factor fingerprint (pointer + sampled content hash) catches
+// callers that mutate a folded factor without telling us.
 //
 // Tree-vs-flat selection (`resolve_mttkrp_mode`) models one full AO
 // iteration's MTTKRP sequence both ways with the simgpu roofline and picks
@@ -110,8 +113,11 @@ class DimTreeEngine {
   /// Drops the whole chain (all prefix levels).
   void invalidate();
 
-  /// Factor `mode`'s contents changed: every chain level that folded it
-  /// (levels > mode) is stale. Levels <= mode survive.
+  /// Factor `mode`'s contents changed. If it was folded (level() > mode)
+  /// the whole chain is dropped: the in-place buffer holds only the top
+  /// level, so a shorter prefix cannot be recovered — the next extend
+  /// rebuilds from level 0. A no-op when the factor was not folded yet
+  /// (the trainer's in-order sweep, where level() == mode at update time).
   void note_factor_updated(int mode);
 
   /// Folds factors[level()] .. factors[target_level - 1] into the chain.
@@ -163,15 +169,16 @@ class DimTreeEngine {
  private:
   struct Fingerprint {
     const real_t* data = nullptr;
-    std::uint64_t hash = 0;
+    std::uint64_t hash = 0;  // sampled content hash (O(1) probes, not full)
     bool matches(const Matrix& f) const;
   };
 
   void ensure_chain();
   void release_chain();
   /// Verifies the fingerprints of every folded level against the current
-  /// factors and drops stale suffixes (the backstop behind
-  /// note_factor_updated).
+  /// factors; any mismatch drops the whole chain (the backstop behind
+  /// note_factor_updated). Probabilistic: the hash samples O(1) entries
+  /// per factor.
   void check_fingerprints(const std::vector<Matrix>& factors);
   void fold(simgpu::Device& dev, const Matrix& factor, int k);
   simgpu::KernelStats extend_stats(int k) const;

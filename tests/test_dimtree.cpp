@@ -133,26 +133,72 @@ TEST(DimtreeInvalidation, FingerprintCatchesSilentFactorMutation) {
   ASSERT_EQ(engine.level(), 2);  // factors 0 and 1 folded
 
   // Mutate a folded factor in place without note_factor_updated — the
-  // fingerprint backstop must drop the stale prefix on the next derive.
+  // fingerprint backstop must drop the chain on the next derive. Entry
+  // (0, 0) is always covered by the sampled hash.
   factors[0](0, 0) += 1.0;
+  mttkrp_ref(t, factors, 2, want);
+  engine.mttkrp(dev, factors, 2, out, deterministic_opts());
+  EXPECT_TRUE(bit_identical(out, want));
+  ASSERT_EQ(engine.level(), 2);
+
+  // Now mutate a *non-zero* folded level. The in-place chain holds only
+  // P_2, so a stale level 1 must force a full rebuild — truncating to
+  // level 1 and re-folding factor 1 into P_2 would silently double-count
+  // the old contents.
+  factors[1](0, 0) += 1.0;
   mttkrp_ref(t, factors, 2, want);
   engine.mttkrp(dev, factors, 2, out, deterministic_opts());
   EXPECT_TRUE(bit_identical(out, want));
 }
 
-TEST(DimtreeInvalidation, NoteFactorUpdatedDropsOnlyStaleLevels) {
+TEST(DimtreeInvalidation, NoteFactorUpdatedOnFoldedLevelDropsWholeChain) {
   const SparseTensor t = random_tensor({19, 23, 17, 13}, 900, 63);
   auto factors = random_factors(t, 4, 64);
   DimTreeEngine engine(t, 4);
   simgpu::Device dev(simgpu::a100());
   engine.extend_to(dev, factors, 3);
   ASSERT_EQ(engine.level(), 3);
-  engine.note_factor_updated(2);  // level 2 folded factor 2 -> stale
-  EXPECT_EQ(engine.level(), 2);
+  // The buffer holds only P_3; a stale factor 2 cannot be peeled off, so
+  // the whole chain goes.
+  engine.note_factor_updated(2);
+  EXPECT_EQ(engine.level(), 0);
   engine.note_factor_updated(2);  // idempotent
+  EXPECT_EQ(engine.level(), 0);
+
+  // An update to a not-yet-folded factor is free (the trainer's in-order
+  // sweep: level() == mode at update time).
+  engine.extend_to(dev, factors, 2);
+  ASSERT_EQ(engine.level(), 2);
+  engine.note_factor_updated(2);
+  EXPECT_EQ(engine.level(), 2);
+  engine.note_factor_updated(3);
   EXPECT_EQ(engine.level(), 2);
   engine.invalidate();
   EXPECT_EQ(engine.level(), 0);
+}
+
+TEST(DimtreeInvalidation, MidPrefixUpdateThenExtendStaysBitIdentical) {
+  // Regression: chain at P_2 = v ⊙ H0 ⊙ H1, then factor 1 is updated and
+  // announced. A truncate-to-1 implementation would next fold the new H1
+  // into a buffer still holding P_2, yielding v ⊙ H0 ⊙ H1_old ⊙ H1_new.
+  const SparseTensor t = random_tensor({19, 23, 17, 13}, 900, 67);
+  auto factors = random_factors(t, 8, 68);
+  DimTreeEngine engine(t, 8);
+  simgpu::Device dev(simgpu::a100());
+  Matrix out(t.dim(2), 8), want(t.dim(2), 8);
+  engine.mttkrp(dev, factors, 2, out, deterministic_opts());
+  ASSERT_EQ(engine.level(), 2);
+
+  Rng rng(69);
+  factors[1].fill_uniform(rng, 0.1, 1.0);
+  engine.note_factor_updated(1);
+  EXPECT_EQ(engine.level(), 0);
+  for (int mode = 2; mode < t.num_modes(); ++mode) {
+    Matrix w(t.dim(mode), 8), g(t.dim(mode), 8);
+    mttkrp_ref(t, factors, mode, w);
+    engine.mttkrp(dev, factors, mode, g, deterministic_opts());
+    EXPECT_TRUE(bit_identical(g, w)) << "mode " << mode;
+  }
 }
 
 TEST(DimtreeInvalidation, ExtendBelowCurrentLevelRebuilds) {

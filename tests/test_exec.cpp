@@ -414,9 +414,10 @@ TEST(DigestStability, BuilderEncodingIsPinned) {
 
 TEST(DigestStability, TrainingDigestIgnoresConvergenceAndCheckpointKnobs) {
   FrameworkOptions base;
-  // Pinned for checkpoint format v2 (the v1->v2 bump added mttkrp_mode to
-  // the digested field list).
-  EXPECT_EQ(digest_training_options(base), 0xbd6413791da79d55ULL);
+  // Pinned for checkpoint format v3 (v2 added mttkrp_mode, v3 added
+  // dimtree_budget_bytes — under auto the budget decides which engine the
+  // resolver picks, and flat vs dimtree differ in accumulation order).
+  EXPECT_EQ(digest_training_options(base), 0x0edfbdb8f4d83b76ULL);
 
   FrameworkOptions resumable = base;
   resumable.max_iterations = 500;
@@ -442,6 +443,10 @@ TEST(DigestStability, TrainingDigestIgnoresConvergenceAndCheckpointKnobs) {
   FrameworkOptions different_mttkrp = base;
   different_mttkrp.mttkrp_mode = MttkrpMode::kDimtree;
   EXPECT_NE(digest_training_options(different_mttkrp),
+            digest_training_options(base));
+  FrameworkOptions different_budget = base;
+  different_budget.dimtree_budget_bytes = 1.0;
+  EXPECT_NE(digest_training_options(different_budget),
             digest_training_options(base));
 }
 

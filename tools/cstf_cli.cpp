@@ -42,6 +42,7 @@
 //   --trace FILE        write a chrome://tracing JSON timeline of every
 //                       kernel launch and phase (open in chrome://tracing or
 //                       https://ui.perfetto.dev)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -166,7 +167,15 @@ int main(int argc, char** argv) {
       }
     }
     else if (arg == "--dimtree-budget") {
-      options.dimtree_budget_bytes = std::atof(value().c_str());
+      const std::string spec = value();
+      char* end = nullptr;
+      const double bytes = std::strtod(spec.c_str(), &end);
+      if (end == spec.c_str() || *end != '\0' || !(bytes > 0.0) ||
+          !std::isfinite(bytes)) {
+        usage(("--dimtree-budget must be a positive byte count, got: " + spec)
+                  .c_str());
+      }
+      options.dimtree_budget_bytes = bytes;
     }
     else if (arg == "--deterministic") options.scatter.deterministic = true;
     else if (arg == "--seed") options.seed = std::strtoull(value().c_str(), nullptr, 10);
