@@ -17,6 +17,12 @@
 # these (e.g. on loaded CI machines where wall-clock comparisons are
 # unreliable); the chaos smoke is repeated against the sanitized build.
 #
+# An autotune-smoke step runs the autotune-labeled ctest group (cache round
+# trip, corruption taxonomy, trial determinism, decision goldens, plus the
+# cstf_tune populate-then-hit fixture pair) and a counter-verified cache
+# round trip through cstf_tune: measure-populate a fresh CSTFTUNE file,
+# then require the second run to be a pure cache hit (--expect-cached).
+#
 # Knobs (env vars): CSTF_CHECK_SKIP_SANITIZE=1 skips the second pass (useful
 # on toolchains without sanitizer runtimes), CSTF_CHECK_SKIP_PERF=1,
 # CSTF_CHECK_TSAN=1 adds a ThreadSanitizer pass (-DCSTF_TSAN=ON) over the
@@ -62,6 +68,18 @@ else
   ./build/tools/cstf_serve --dataset Uber --rank 4 --iters 2 --requests 200 \
     --clients 4 --retries 10 --fault-plan "launch:p=0.01,seed=7" \
     --json results/check_chaos_telemetry.json
+
+  echo "=== autotune smoke: tuning cache round trip, counter-verified"
+  # The autotune-labeled ctest group (unit suite + cstf_tune/cstf_cli smoke),
+  # then an explicit populate-then-hit pass against a fresh cache file:
+  # the first cstf_tune run must measure (trials), the second must be a pure
+  # cache hit — --expect-cached exits nonzero if any decision re-ran trials.
+  ctest --test-dir build -L autotune --output-on-failure
+  rm -f results/check_tuning.cstftune
+  ./build/tools/cstf_tune --dataset Uber --dataset NIPS --rank 8 \
+    --tune measure --tuning-cache results/check_tuning.cstftune
+  ./build/tools/cstf_tune --dataset Uber --dataset NIPS --rank 8 \
+    --tune cached --tuning-cache results/check_tuning.cstftune --expect-cached
 fi
 
 if [ "${CSTF_CHECK_TSAN:-0}" = "1" ]; then
@@ -73,10 +91,12 @@ if [ "${CSTF_CHECK_TSAN:-0}" = "1" ]; then
   # The dimtree group rides along: the chain derives scatter through the
   # same parallel accumulation engine, and its lazy extends must be race-
   # free against the plan's explicit extend ops.
+  # The autotune group rides along: micro-trials run warmup+timed kernels
+  # through the same parallel-for engine the chunk sweep retunes.
   cmake -B build-tsan -S . -DCSTF_TSAN=ON
   cmake --build build-tsan -j
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L 'exec|dimtree' --output-on-failure
+    ctest --test-dir build-tsan -L 'exec|dimtree|autotune' --output-on-failure
 fi
 
 if [ "${CSTF_CHECK_SKIP_SANITIZE:-0}" = "1" ]; then
@@ -91,12 +111,13 @@ cmake --build build-asan -j
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir build-asan --output-on-failure -j
 
-echo "=== dimtree group under ASan+UBSan (explicit re-run of the label)"
+echo "=== dimtree + autotune groups under ASan+UBSan (explicit label re-run)"
 # Redundant with the full sanitized suite above, but keeps the dimension-
-# tree engine's pointer-heavy chain arithmetic visibly gated even if the
-# full pass is ever narrowed.
+# tree engine's pointer-heavy chain arithmetic and the tuning cache's binary
+# parser (attacker-controlled bytes on the load path) visibly gated even if
+# the full pass is ever narrowed.
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-  ctest --test-dir build-asan -L dimtree --output-on-failure
+  ctest --test-dir build-asan -L 'dimtree|autotune' --output-on-failure
 
 echo "=== chaos smoke under ASan: fault-recovery paths must be leak-free"
 # The retry/degraded paths unwind through exceptions mid-batch; run them under

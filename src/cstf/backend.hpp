@@ -85,6 +85,10 @@ class BlcoBackend final : public MttkrpBackend {
 
   DimTreeEngine* dimtree() const override { return dimtree_.get(); }
 
+  /// The backend's own sorted-scatter plan cache (the flat path; the
+  /// dimtree engine keeps a separate one) — exposed for counter surfacing.
+  const ScatterPlanCache& scatter_plans() const { return plans_; }
+
  private:
   BlcoTensor blco_;
   real_t norm_sq_;

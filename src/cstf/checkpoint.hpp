@@ -36,7 +36,7 @@
 
 namespace cstf {
 
-inline constexpr std::uint32_t kCheckpointFormatVersion = 3;
+inline constexpr std::uint32_t kCheckpointFormatVersion = 4;
 
 /// A training snapshot plus the provenance needed to refuse a mismatched
 /// resume.

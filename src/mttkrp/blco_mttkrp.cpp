@@ -272,7 +272,7 @@ ScatterStrategy mttkrp_blco(simgpu::Device& dev, const BlcoTensor& blco,
   const index_t rank = factors[0].cols();
   const index_t mode_len = out.rows();
   const ScatterStrategy strategy =
-      resolve_scatter_strategy(opts, mode_len, rank, blco.nnz());
+      resolve_scatter_strategy_for_mode(opts, mode, mode_len, rank, blco.nnz());
 
   ScatterPlan local_plan;
   if (strategy == ScatterStrategy::kSorted && plan == nullptr) {

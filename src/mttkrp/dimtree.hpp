@@ -166,6 +166,10 @@ class DimTreeEngine {
   std::vector<simgpu::KernelStats> flat_iteration_stats(
       const ScatterOptions& opts) const;
 
+  /// The engine's per-mode sorted-scatter plan cache — exposed so its
+  /// hit/miss counters are observable (cstf_info, tuning telemetry).
+  const ScatterPlanCache& scatter_plans() const { return plans_; }
+
  private:
   struct Fingerprint {
     const real_t* data = nullptr;

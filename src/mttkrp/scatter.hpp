@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,6 +74,13 @@ struct ScatterOptions {
   /// sorted/atomic. Tiles are pooled (ScratchPool), so this bounds steady-
   /// state memory, not per-call allocation traffic.
   double privatization_budget_bytes = 64.0 * 1024.0 * 1024.0;
+
+  /// Per-mode strategy overrides from the autotuner: entry m (when present
+  /// and not kAuto) pins mode m's strategy ahead of `strategy`. Modes beyond
+  /// the vector (or kAuto entries) fall through to the normal resolution.
+  /// Only resolve_scatter_strategy_for_mode consults this — call sites that
+  /// do not know their mode (streaming slices) ignore it.
+  std::vector<ScatterStrategy> per_mode;
 };
 
 /// Reusable sorted-scatter plan for one (tensor, mode): the nonzero ids
@@ -109,9 +117,20 @@ class ScatterPlanCache {
   const ScatterPlan& get(int mode, const BuildFn& build) {
     CSTF_CHECK(mode >= 0 && mode < kMaxModes);
     auto& slot = slots_[static_cast<std::size_t>(mode)];
-    if (!slot) slot = std::make_unique<ScatterPlan>(build());
+    if (!slot) {
+      ++misses_;
+      slot = std::make_unique<ScatterPlan>(build());
+    } else {
+      ++hits_;
+    }
     return *slot;
   }
+
+  /// Plan reuse counters (cumulative across clear()): a miss builds a plan,
+  /// a hit reuses one. Surfaced by cstf_info and the tuning telemetry so
+  /// plan-build overhead is observable.
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
 
   /// Drops every cached plan. Callers whose nonzero set changes between
   /// solves (the streaming path: each time slice is a different tensor)
@@ -123,6 +142,8 @@ class ScatterPlanCache {
 
  private:
   std::unique_ptr<ScatterPlan> slots_[kMaxModes];
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
 };
 
 /// Number of private tiles the privatized strategy uses for `nnz` nonzeros:
@@ -133,10 +154,20 @@ class ScatterPlanCache {
 index_t privatized_tile_count(index_t nnz);
 
 /// Resolves kAuto (and kAtomic under `deterministic`) to a concrete strategy
-/// for one mode. Explicit non-auto requests pass through unchanged.
+/// for one mode. Explicit non-auto requests pass through unchanged. Ignores
+/// `opts.per_mode` (callers that do not know their mode index, e.g. the
+/// streaming path where each slice is a different tensor).
 ScatterStrategy resolve_scatter_strategy(const ScatterOptions& opts,
                                          index_t mode_len, index_t rank,
                                          index_t nnz);
+
+/// Mode-aware resolution: a concrete `opts.per_mode[mode]` entry (the
+/// autotuner's pick) wins — unless it is kAtomic under `deterministic`,
+/// which falls through to the auto resolution like any other atomic request.
+/// Without an override this is exactly resolve_scatter_strategy.
+ScatterStrategy resolve_scatter_strategy_for_mode(const ScatterOptions& opts,
+                                                  int mode, index_t mode_len,
+                                                  index_t rank, index_t nnz);
 
 /// Adds the strategy-specific cost terms to a kernel-stats record that
 /// already accounts for the shared work (stream + factor gathers + scatter

@@ -238,6 +238,18 @@ class FoldInBatcher {
   /// Shed / timeout / retry / degraded-mode counters.
   ReliabilityCounters& reliability() { return reliability_; }
 
+  /// Mean arrival rate since construction: submitted requests (shed ones
+  /// included — they arrived) over elapsed wall time. This is the measured
+  /// rate the autotuner's batcher calibration feeds on; 0 until the first
+  /// submit.
+  double measured_arrival_rate_rps() const {
+    const double elapsed = epoch_.seconds();
+    if (elapsed <= 0.0) return 0.0;
+    return static_cast<double>(
+               reliability_.submitted.load(std::memory_order_relaxed)) /
+           elapsed;
+  }
+
  private:
   struct Pending {
     FoldInRequest request;

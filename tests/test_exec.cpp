@@ -414,10 +414,12 @@ TEST(DigestStability, BuilderEncodingIsPinned) {
 
 TEST(DigestStability, TrainingDigestIgnoresConvergenceAndCheckpointKnobs) {
   FrameworkOptions base;
-  // Pinned for checkpoint format v3 (v2 added mttkrp_mode, v3 added
+  // Pinned for checkpoint format v4 (v2 added mttkrp_mode, v3 added
   // dimtree_budget_bytes — under auto the budget decides which engine the
-  // resolver picks, and flat vs dimtree differ in accumulation order).
-  EXPECT_EQ(digest_training_options(base), 0x0edfbdb8f4d83b76ULL);
+  // resolver picks, and flat vs dimtree differ in accumulation order —
+  // and v4 added the autotuning policy, per-mode scatter picks, and the
+  // parallel chunk knob, all of which shape fp accumulation order).
+  EXPECT_EQ(digest_training_options(base), 0x82f78186c1f13b32ULL);
 
   FrameworkOptions resumable = base;
   resumable.max_iterations = 500;
@@ -447,6 +449,16 @@ TEST(DigestStability, TrainingDigestIgnoresConvergenceAndCheckpointKnobs) {
   FrameworkOptions different_budget = base;
   different_budget.dimtree_budget_bytes = 1.0;
   EXPECT_NE(digest_training_options(different_budget),
+            digest_training_options(base));
+  FrameworkOptions different_policy = base;
+  different_policy.tuning.policy = autotune::TuningPolicy::kMeasure;
+  EXPECT_NE(digest_training_options(different_policy),
+            digest_training_options(base));
+  FrameworkOptions different_per_mode = base;
+  different_per_mode.scatter.per_mode = {ScatterStrategy::kSorted,
+                                         ScatterStrategy::kAtomic,
+                                         ScatterStrategy::kPrivatized};
+  EXPECT_NE(digest_training_options(different_per_mode),
             digest_training_options(base));
 }
 

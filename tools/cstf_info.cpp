@@ -155,6 +155,22 @@ int main(int argc, char** argv) {
                     "(no dimension tree; rerun with --mttkrp dimtree to "
                     "force one)\n");
       }
+      // Cache telemetry: the AO plan cache (one compile per option set) and
+      // the scatter plan cache (one resolve per (mode, shape)). The dimtree
+      // engine keeps its own scatter-plan cache for the chain kernels.
+      const exec::PlanCache& plans = framework.driver().plan_cache();
+      std::printf("\nplan cache: %lld hits, %lld misses\n",
+                  static_cast<long long>(plans.hits()),
+                  static_cast<long long>(plans.misses()));
+      const ScatterPlanCache& scatter_plans = framework.backend().scatter_plans();
+      std::printf("scatter plan cache: %lld hits, %lld misses\n",
+                  static_cast<long long>(scatter_plans.hits()),
+                  static_cast<long long>(scatter_plans.misses()));
+      if (const DimTreeEngine* tree = framework.backend().dimtree()) {
+        std::printf("dimtree scatter plan cache: %lld hits, %lld misses\n",
+                    static_cast<long long>(tree->scatter_plans().hits()),
+                    static_cast<long long>(tree->scatter_plans().misses()));
+      }
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "cstf_info: %s\n", e.what());

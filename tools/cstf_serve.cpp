@@ -32,6 +32,15 @@
 //   --max-queue N    fold-in admission-queue bound; beyond it requests are
 //                    shed, not queued (1024)
 //
+// Autotuning options (DESIGN.md §14):
+//   --tune P         model | cached | measure — batcher autotuning policy.
+//                    measure calibrates the fused-solve cost after the
+//                    workload and derives a tuned max_batch/linger from the
+//                    measured arrival rate; cached applies a previously
+//                    stored decision before serving starts
+//   --tuning-cache F CSTFTUNE cache file the decision is read from /
+//                    written to
+//
 // Output: model provenance, query and fold-in latency summaries
 // (p50/p95/p99), the realized batch-size histogram, the worst fold-in ADMM
 // residual, reliability counters (shed/timeout/retry/degraded), and the
@@ -39,6 +48,7 @@
 // are load-management outcomes, not failures; the exit code is nonzero only
 // for unhandled errors.
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -49,6 +59,8 @@
 #include <thread>
 #include <vector>
 
+#include "autotune/tuning.hpp"
+#include "common/digest.hpp"
 #include "cstf/framework.hpp"
 #include "serve/fold_in.hpp"
 #include "serve/model_store.hpp"
@@ -74,6 +86,8 @@ using namespace cstf;
                "                  [--fault-plan SPEC] [--retries N]"
                " [--backoff S]\n"
                "                  [--deadline S] [--max-queue N]\n"
+               "                  [--tune model|cached|measure]"
+               " [--tuning-cache FILE]\n"
                "                  [--seed N] [--trace FILE] [--json FILE]\n");
   std::exit(2);
 }
@@ -83,6 +97,35 @@ simgpu::DeviceSpec parse_device(const std::string& spec) {
   if (spec == "h100") return simgpu::h100();
   if (spec == "xeon") return simgpu::xeon_8367hc();
   usage(("unknown device: " + spec).c_str());
+}
+
+// Strict numeric flag parsing (same discipline as cstf_cli
+// --dimtree-budget): the whole token must parse and land in range; trailing
+// garbage, overflow, and out-of-range values are rejected instead of
+// silently truncating to 0 the way atoi would.
+long long parse_count_flag(const std::string& arg, const std::string& spec,
+                           long long min_value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(spec.c_str(), &end, 10);
+  if (end == spec.c_str() || *end != '\0' || errno == ERANGE ||
+      v < min_value) {
+    usage((arg + " must be an integer >= " + std::to_string(min_value) +
+           ", got: " + spec)
+              .c_str());
+  }
+  return v;
+}
+
+double parse_seconds_flag(const std::string& arg, const std::string& spec) {
+  char* end = nullptr;
+  const double v = std::strtod(spec.c_str(), &end);
+  if (end == spec.c_str() || *end != '\0' || !std::isfinite(v) || v < 0.0) {
+    usage((arg + " must be a finite non-negative number of seconds, got: " +
+           spec)
+              .c_str());
+  }
+  return v;
 }
 
 void print_summary(const char* label, const serve::LatencySummary& s) {
@@ -121,6 +164,8 @@ int main(int argc, char** argv) {
   double backoff_s = 0.0002;
   double deadline_s = 0.0;
   std::size_t max_queue = 1024;
+  autotune::TuningPolicy tune_policy = autotune::TuningPolicy::kModel;
+  std::string tuning_cache_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -142,10 +187,21 @@ int main(int argc, char** argv) {
     else if (arg == "--per-request") per_request = true;
     else if (arg == "--device") device_spec = parse_device(value());
     else if (arg == "--fault-plan") { fault_spec = value(); fault_spec_given = true; }
-    else if (arg == "--retries") retries = std::atoi(value().c_str());
-    else if (arg == "--backoff") backoff_s = std::atof(value().c_str());
-    else if (arg == "--deadline") deadline_s = std::atof(value().c_str());
-    else if (arg == "--max-queue") max_queue = static_cast<std::size_t>(std::atoll(value().c_str()));
+    else if (arg == "--retries") {
+      retries = static_cast<int>(parse_count_flag(arg, value(), 0));
+    }
+    else if (arg == "--backoff") backoff_s = parse_seconds_flag(arg, value());
+    else if (arg == "--deadline") deadline_s = parse_seconds_flag(arg, value());
+    else if (arg == "--max-queue") {
+      max_queue = static_cast<std::size_t>(parse_count_flag(arg, value(), 0));
+    }
+    else if (arg == "--tune") {
+      const std::string spec = value();
+      if (!autotune::parse_tuning_policy(spec, &tune_policy)) {
+        usage(("unknown tuning policy: " + spec).c_str());
+      }
+    }
+    else if (arg == "--tuning-cache") tuning_cache_path = value();
     else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--trace") trace_path = value();
     else if (arg == "--json") json_path = value();
@@ -220,6 +276,43 @@ int main(int argc, char** argv) {
     batcher_options.default_deadline_s = deadline_s;
     batcher_options.max_retries = retries;
     batcher_options.retry_backoff_s = backoff_s;
+
+    // Batcher autotuning key: this device + the served model's shape. The
+    // arrival rate is workload-dependent, so the stored record carries the
+    // measured rate it was tuned for as evidence.
+    autotune::TuningKey serve_key;
+    autotune::TuningCache tuning_cache;
+    bool tuned_from_cache = false;
+    if (tune_policy != autotune::TuningPolicy::kModel) {
+      std::vector<index_t> dims(static_cast<std::size_t>(modes));
+      for (int m = 0; m < modes; ++m) {
+        dims[static_cast<std::size_t>(m)] = model->mode_size(m);
+      }
+      serve_key.device_digest = autotune::digest_device_spec(device_spec);
+      serve_key.tensor_digest = autotune::digest_shape_fingerprint(
+          dims, 0, /*layout_tag=*/0x53455256);  // "SERV": batcher records
+      serve_key.rank = static_cast<std::uint64_t>(model->rank());
+      serve_key.options_digest = DigestBuilder()
+                                     .u64(static_cast<std::uint64_t>(batch))
+                                     .boolean(per_request)
+                                     .value();
+      if (!tuning_cache_path.empty()) {
+        tuning_cache = autotune::TuningCache::load_or_empty(tuning_cache_path);
+      }
+      if (tune_policy == autotune::TuningPolicy::kCached && !per_request) {
+        const autotune::TuningRecord* rec = tuning_cache.find(serve_key);
+        if (rec != nullptr && rec->batcher_max_batch > 0) {
+          batcher_options.max_batch = rec->batcher_max_batch;
+          batcher_options.max_linger_s = rec->batcher_linger_s;
+          tuned_from_cache = true;
+          std::printf("autotune: cached batcher decision (max_batch %u, "
+                      "linger %.4f s, tuned at %.1f req/s)\n",
+                      rec->batcher_max_batch, rec->batcher_linger_s,
+                      rec->batcher_arrival_rate_rps);
+        }
+      }
+    }
+
     serve::FoldInBatcher batcher(fold_engine, store, model->meta().name,
                                  batcher_options);
 
@@ -327,11 +420,89 @@ int main(int argc, char** argv) {
     const serve::LatencySummary query_lat = queries.latency().summary();
     const serve::LatencySummary fold_lat = batcher.latency().summary();
 
+    const double arrival_rps = batcher.measured_arrival_rate_rps();
     std::printf("\nworkload: %d requests, %d clients, %.3f s wall "
                 "(%.0f req/s), %ld failures\n",
                 requests, clients, wall_s,
                 static_cast<double>(requests) / wall_s,
                 failures.load());
+    std::printf("measured fold-in arrival rate: %.1f req/s\n", arrival_rps);
+
+    // Post-workload batcher calibration: fit the fused-solve cost model
+    // t(B) = base + per_row * B from two timed solves, combine it with the
+    // measured arrival rate, and store the tuned (max_batch, linger) for the
+    // next run to pick up with --tune cached.
+    autotune::BatcherTuning batcher_tuning;
+    if (tune_policy != autotune::TuningPolicy::kModel) {
+      auto timed_solve = [&](int rows) {
+        std::vector<serve::FoldInRequest> reqs;
+        Rng cal_rng(seed ^ 0xb47cULL);
+        for (int j = 0; j < rows; ++j) {
+          serve::FoldInRequest req;
+          req.mode = 0;
+          for (int e = 0; e < 4; ++e) {
+            for (int m = 0; m < modes; ++m) {
+              if (m == req.mode) continue;
+              req.coords.push_back(static_cast<index_t>(cal_rng.uniform_index(
+                  static_cast<std::uint64_t>(model->mode_size(m)))));
+            }
+            req.values.push_back(cal_rng.uniform(0.0, 2.0));
+          }
+          reqs.push_back(std::move(req));
+        }
+        // Calibration runs outside the serving retry wrapper, so absorb
+        // transient (injected) faults here; a retried attempt re-times the
+        // solve from scratch.
+        for (int attempt = 0;; ++attempt) {
+          try {
+            Timer t;
+            fold_engine.fold_in_batch(*model, reqs);
+            return t.seconds();
+          } catch (const Error&) {
+            if (attempt >= 5) throw;
+          }
+        }
+      };
+      autotune::BatcherCalibration cal;
+      bool calibrated = true;
+      try {
+        const double t1 = timed_solve(1);
+        const double t8 = timed_solve(8);
+        cal.solve_per_row_s = std::max(0.0, (t8 - t1) / 7.0);
+        cal.solve_base_s = std::max(0.0, t1 - cal.solve_per_row_s);
+      } catch (const Error& e) {
+        // A fault-ridden measurement is worthless; keep the current knobs
+        // rather than failing an otherwise successful serve run.
+        calibrated = false;
+        std::printf("autotune: batcher calibration aborted (%s); keeping %s "
+                    "batcher knobs\n",
+                    e.what(), tuned_from_cache ? "cached" : "default");
+      }
+      cal.arrival_rate_rps = arrival_rps;
+      if (calibrated) {
+        batcher_tuning = autotune::tune_fold_in_batcher(cal);
+        std::printf("autotune (%s): solve base %.1f us + %.1f us/row -> "
+                    "tuned max_batch %u, linger %.4f s%s\n",
+                    autotune::tuning_policy_name(tune_policy),
+                    cal.solve_base_s * 1e6, cal.solve_per_row_s * 1e6,
+                    batcher_tuning.max_batch, batcher_tuning.linger_s,
+                    tuned_from_cache ? " (served with cached decision)" : "");
+      }
+      if (calibrated && !tuned_from_cache) {
+        autotune::TuningRecord rec;
+        rec.batcher_max_batch = batcher_tuning.max_batch;
+        rec.batcher_linger_s = batcher_tuning.linger_s;
+        rec.batcher_arrival_rate_rps = arrival_rps;
+        rec.seed = seed;
+        rec.provenance = "cstf_serve batcher calibration, model '" +
+                         model->meta().name + "'";
+        tuning_cache.put(serve_key, std::move(rec));
+        if (!tuning_cache_path.empty()) {
+          tuning_cache.save(tuning_cache_path);
+          std::printf("tuning cache updated: %s\n", tuning_cache_path.c_str());
+        }
+      }
+    }
     print_summary("query latency", query_lat);
     print_summary("fold-in latency", fold_lat);
     std::printf("fold-in batches: %lld (mean size %.2f)\n",
@@ -379,6 +550,12 @@ int main(int argc, char** argv) {
                         ",\n  \"fold_in_latency\": " + latency_json(fold_lat) +
                         ",\n  \"mean_batch_size\": " +
                         number(batcher.batch_sizes().mean_batch_size()) +
+                        ",\n  \"arrival_rate_rps\": " + number(arrival_rps) +
+                        ",\n  \"tuned_max_batch\": " +
+                        number(static_cast<double>(
+                            batcher_tuning.max_batch)) +
+                        ",\n  \"tuned_linger_s\": " +
+                        number(batcher_tuning.linger_s) +
                         ",\n  \"worst_primal_residual\": " + number(worst) +
                         ",\n  \"reliability\": {\"injected_faults\":" +
                         number(static_cast<double>(fault_plan.injected())) +
