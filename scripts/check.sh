@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 gate: builds and runs the full test suite twice — a plain
+# Tier-1 gate: a documentation drift check (scripts/check_docs.sh + its
+# negative self-test), then the full test suite twice — a plain
 # RelWithDebInfo build, then an ASan+UBSan build (-DCSTF_SANITIZE=ON). Any
-# compile error, test failure, or sanitizer report fails the script.
+# doc drift, compile error, test failure, or sanitizer report fails the
+# script.
 #
 # After the plain pass, a perf-smoke step runs the scatter-engine and
 # MTTKRP-engine fixtures (bench_host_wallclock --smoke): it fails if the
@@ -26,11 +28,18 @@
 # Knobs (env vars): CSTF_CHECK_SKIP_SANITIZE=1 skips the second pass (useful
 # on toolchains without sanitizer runtimes), CSTF_CHECK_SKIP_PERF=1,
 # CSTF_CHECK_TSAN=1 adds a ThreadSanitizer pass (-DCSTF_TSAN=ON) over the
-# exec- and dimtree-labeled ctest groups (the executor/plan-cache layer
-# every concurrent path now submits through, plus the dimension-tree
-# engine's parallel chain derives), CSTF_THREADS.
+# exec-, dimtree-, autotune-, and metrics-labeled ctest groups (the
+# executor/plan-cache layer every concurrent path now submits through, the
+# dimension-tree engine's parallel chain derives, and the metrics
+# registry's lock-free counter hot path), CSTF_THREADS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "=== docs gate: tool flags documented, links resolve, section refs valid"
+# No build needed; fails fast on documentation drift. The self-test proves
+# the gate still detects an undocumented flag (negative mode).
+bash scripts/check_docs.sh
+bash scripts/check_docs.sh --self-test
 
 echo "=== pass 1/2: plain build + ctest"
 cmake -B build -S .
@@ -54,7 +63,8 @@ else
   mkdir -p results
   ./build/tools/cstf_serve --dataset Uber --rank 4 --iters 2 --requests 100 \
     --clients 4 --save results/check_serve_model.cstf \
-    --json results/check_serve_telemetry.json
+    --json results/check_serve_telemetry.json \
+    --metrics-out results/check_serve_metrics.prom
   # Batched + pre-inverted must beat per-request ADMM on both clocks at B>=8
   # (bit-identical rows, verified inside the bench).
   CSTF_BENCH_JSON=1 CSTF_BENCH_JSON_DIR=results/json \
@@ -93,10 +103,14 @@ if [ "${CSTF_CHECK_TSAN:-0}" = "1" ]; then
   # free against the plan's explicit extend ops.
   # The autotune group rides along: micro-trials run warmup+timed kernels
   # through the same parallel-for engine the chunk sweep retunes.
+  # The metrics group rides along: the registry's lock-free counter hot path
+  # (relaxed fetch_add from every kernel launch and serve request) is
+  # exactly the kind of code TSan exists to vet.
   cmake -B build-tsan -S . -DCSTF_TSAN=ON
   cmake --build build-tsan -j
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L 'exec|dimtree|autotune' --output-on-failure
+    ctest --test-dir build-tsan -L 'exec|dimtree|autotune|metrics' \
+    --output-on-failure
 fi
 
 if [ "${CSTF_CHECK_SKIP_SANITIZE:-0}" = "1" ]; then
@@ -111,13 +125,14 @@ cmake --build build-asan -j
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir build-asan --output-on-failure -j
 
-echo "=== dimtree + autotune groups under ASan+UBSan (explicit label re-run)"
+echo "=== dimtree + autotune + metrics groups under ASan+UBSan (label re-run)"
 # Redundant with the full sanitized suite above, but keeps the dimension-
-# tree engine's pointer-heavy chain arithmetic and the tuning cache's binary
-# parser (attacker-controlled bytes on the load path) visibly gated even if
-# the full pass is ever narrowed.
+# tree engine's pointer-heavy chain arithmetic, the tuning cache's binary
+# parser (attacker-controlled bytes on the load path), and the metrics
+# registry/exposition layer visibly gated even if the full pass is ever
+# narrowed.
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-  ctest --test-dir build-asan -L 'dimtree|autotune' --output-on-failure
+  ctest --test-dir build-asan -L 'dimtree|autotune|metrics' --output-on-failure
 
 echo "=== chaos smoke under ASan: fault-recovery paths must be leak-free"
 # The retry/degraded paths unwind through exceptions mid-batch; run them under

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# check_docs.sh — documentation drift gate, run by scripts/check.sh and the
+# docs_check ctest.
+#
+# Three checks:
+#   1. Flag coverage: every quoted "--flag" literal in tools/*.cpp must be
+#      documented in docs/TOOLS.md (as `--flag` followed by a word
+#      boundary, so `--check` cannot hide behind `--checkpoint-every`).
+#   2. Relative links: every markdown link target in README.md, DESIGN.md,
+#      and docs/*.md that is not a URL or a pure anchor must resolve to an
+#      existing file (relative to the file containing the link).
+#   3. Section anchors: every "DESIGN.md §N" (and bare "§N" inside
+#      DESIGN.md) must have a matching "## N." heading in DESIGN.md.
+#
+# --self-test runs the negative mode: check 1 must FAIL against a doctored
+# TOOLS.md with one flag's documentation removed, proving the gate can
+# actually catch an undocumented flag.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- check 1: tool flags are documented -------------------------------------
+# $1 = the TOOLS.md to check against. Prints failures; returns nonzero if
+# any flag is undocumented.
+check_flags() {
+  local tools_md="$1" missing=0 tool flag
+  for src in tools/*.cpp; do
+    tool="$(basename "$src" .cpp)"
+    for flag in $(grep -o '"--[a-z0-9-]*"' "$src" | tr -d '"' | sort -u); do
+      # Documented means `--flag` with a boundary after it: closing
+      # backtick, space (value placeholder), or '=' (the --trace=FILE form).
+      if ! grep -Eq '`'"${flag}"'(`| |=)' "$tools_md"; then
+        echo "FAIL: $tool flag $flag is not documented in $tools_md"
+        missing=1
+      fi
+    done
+  done
+  return "$missing"
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+  # Negative mode: strip the --metrics-out rows from a copy of TOOLS.md and
+  # require the flag check to notice.
+  doctored="$(mktemp)"
+  trap 'rm -f "$doctored"' EXIT
+  grep -v -- '--metrics-out' docs/TOOLS.md > "$doctored"
+  if check_flags "$doctored" > /dev/null; then
+    echo "SELF-TEST FAIL: undocumented --metrics-out was not detected"
+    exit 1
+  fi
+  echo "self-test ok: undocumented flag is detected"
+  exit 0
+fi
+
+check_flags docs/TOOLS.md || fail=1
+
+# --- check 2: relative markdown links resolve -------------------------------
+for md in README.md DESIGN.md docs/*.md; do
+  dir="$(dirname "$md")"
+  # Link targets: ](target) — strip URLs, pure #anchors, and any #anchor
+  # suffix on a file target.
+  for target in $(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//'); do
+    case "$target" in
+      http://*|https://*|chrome://*|\#*) continue ;;
+    esac
+    file="${target%%#*}"
+    [ -n "$file" ] || continue
+    if [ ! -e "$dir/$file" ] && [ ! -e "$file" ]; then
+      echo "FAIL: $md links to missing file: $target"
+      fail=1
+    fi
+  done
+done
+
+# --- check 3: DESIGN.md section references resolve --------------------------
+refs="$( { grep -ho 'DESIGN\.md §[0-9]*' README.md docs/*.md tools/*.cpp \
+             src/*/*.hpp src/*/*.cpp 2>/dev/null;
+           grep -ho '§[0-9]*' DESIGN.md; } |
+         grep -o '§[0-9]*' | tr -d '§' | sort -un )"
+for n in $refs; do
+  if ! grep -q "^## $n\." DESIGN.md; then
+    echo "FAIL: reference to DESIGN.md §$n but no '## $n.' heading exists"
+    fail=1
+  fi
+done
+
+if [ "$fail" = "0" ]; then
+  echo "docs check ok: flags documented, links resolve, section refs valid"
+fi
+exit "$fail"

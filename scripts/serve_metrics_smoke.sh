@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# serve_metrics_smoke.sh — end-to-end agreement check between the two
+# reliability surfaces cstf_serve exposes:
+#
+#   1. the Prometheus dump written by --metrics-out
+#      (cstf_serve_requests{outcome="..."} counters), and
+#   2. the "reliability" block of the --json telemetry report.
+#
+# Both are rendered from the same ReliabilitySnapshot (the tool calls
+# serve::export_reliability(rel) before taking the metrics snapshot), so
+# every shared counter must match EXACTLY — not approximately.  A mismatch
+# means the export bridge or the exposition formatting regressed.
+#
+# usage: serve_metrics_smoke.sh /path/to/cstf_serve
+set -euo pipefail
+
+SERVE_BIN="${1:?usage: serve_metrics_smoke.sh /path/to/cstf_serve}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+prom="$workdir/serve_metrics.prom"
+json="$workdir/serve_metrics.json"
+
+# The fault plan forces transient launch failures so the retried counter is
+# exercised with a nonzero value, not just trivially 0 == 0.
+"$SERVE_BIN" --dataset Uber --rank 4 --iters 2 --requests 40 --clients 2 \
+  --fault-plan "launch:p=0.05,seed=7,max=8" \
+  --metrics-out "$prom" --json "$json" > "$workdir/serve.log"
+
+[ -s "$prom" ] || { echo "FAIL: $prom missing or empty"; exit 1; }
+[ -s "$json" ] || { echo "FAIL: $json missing or empty"; exit 1; }
+
+# Value of cstf_serve_requests{outcome="<label>"} in the Prometheus dump.
+prom_value() {
+  local line
+  line="$(grep -F "cstf_serve_requests{outcome=\"$1\"}" "$prom" || true)"
+  if [ -z "$line" ]; then echo "MISSING"; else echo "${line##* }"; fi
+}
+
+# Value of "<key>":N inside the JSON report's reliability block.  The keys
+# checked here appear only in that block (metric labels render as string
+# values, never as keys), so a plain grep is unambiguous.
+json_value() {
+  grep -o "\"$1\":[0-9.eE+-]*" "$json" | head -1 | cut -d: -f2
+}
+
+fail=0
+
+# outcome label in the .prom dump -> key in the JSON reliability block.
+check() {
+  local outcome="$1" key="$2" p j
+  p="$(prom_value "$outcome")"
+  j="$(json_value "$key")"
+  if [ -z "$j" ]; then
+    echo "FAIL: JSON reliability key \"$key\" not found"
+    fail=1
+  elif [ "$p" != "$j" ]; then
+    echo "FAIL: outcome=$outcome prom=$p != json.$key=$j"
+    fail=1
+  else
+    echo "ok: outcome=$outcome $p == json.$key"
+  fi
+}
+
+check shed shed
+check timed_out timed_out
+check retried fold_in_retries
+check degraded degraded
+check failed failed
+
+# submitted/served have no JSON twin but must exist and be ordered.
+submitted="$(prom_value submitted)"
+served="$(prom_value served)"
+if [ "$submitted" = "MISSING" ] || [ "$served" = "MISSING" ]; then
+  echo "FAIL: submitted/served counters missing from $prom"
+  fail=1
+elif ! awk -v s="$submitted" -v d="$served" 'BEGIN { exit !(s >= d) }'; then
+  echo "FAIL: submitted ($submitted) < served ($served)"
+  fail=1
+else
+  echo "ok: submitted=$submitted >= served=$served"
+fi
+
+# Exposition hygiene: the family must carry HELP/TYPE headers.
+grep -q '^# HELP cstf_serve_requests ' "$prom" || {
+  echo "FAIL: missing HELP line for cstf_serve_requests"; fail=1; }
+grep -q '^# TYPE cstf_serve_requests counter$' "$prom" || {
+  echo "FAIL: missing TYPE line for cstf_serve_requests"; fail=1; }
+
+exit "$fail"

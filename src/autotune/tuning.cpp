@@ -9,12 +9,20 @@
 #include "common/random.hpp"
 #include "common/timer.hpp"
 #include "la/matrix.hpp"
+#include "metrics/registry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "simgpu/device.hpp"
 
 namespace cstf::autotune {
 
 namespace {
+
+// One autotune.trials tick per timed measurement (warmups excluded).
+void count_trial() {
+  static metrics::Counter* trials =
+      metrics::MetricsRegistry::global().counter("autotune.trials");
+  trials->inc();
+}
 
 /// One timed candidate: the best-of-N minimum host wall time and the (repeat-
 /// invariant) modeled roofline time of the same kernel sequence.
@@ -88,6 +96,7 @@ TrialTime time_single_mode(DimTreeEngine& eng,
     eng.mttkrp(dev, factors, mode, out, o);
     t.wall_s = std::min(t.wall_s, timer.seconds());
     t.modeled_s = dev.modeled_time_s();
+    count_trial();
   }
   return t;
 }
@@ -120,6 +129,7 @@ TrialTime time_iteration(DimTreeEngine& eng,
     sweep(dev);
     t.wall_s = std::min(t.wall_s, timer.seconds());
     t.modeled_s = dev.modeled_time_s();
+    count_trial();
   }
   return t;
 }

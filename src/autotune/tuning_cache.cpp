@@ -8,10 +8,19 @@
 #include "common/digest.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "metrics/registry.hpp"
 
 namespace cstf::autotune {
 
 namespace {
+
+// Process-wide mirrors of every TuningCache instance's counters; the
+// per-instance hits()/misses()/evictions() (resettable by load) stay as-is.
+void bump_cache_metric(const char* name) {
+  metrics::MetricsRegistry::global()
+      .counter(std::string("autotune.tuning_cache.") + name)
+      ->inc();
+}
 
 constexpr char kMagic[8] = {'C', 'S', 'T', 'F', 'T', 'U', 'N', 'E'};
 constexpr std::uint64_t kMaxCacheEntries = 1u << 16;
@@ -67,10 +76,12 @@ const TuningRecord* TuningCache::find(const TuningKey& key) {
     if (it->key == key) {
       entries_.splice(entries_.end(), entries_, it);  // bump to MRU
       ++hits_;
+      bump_cache_metric("hits");
       return &entries_.back().record;
     }
   }
   ++misses_;
+  bump_cache_metric("misses");
   return nullptr;
 }
 
@@ -86,6 +97,7 @@ void TuningCache::put(const TuningKey& key, TuningRecord record) {
   while (entries_.size() > capacity_) {
     entries_.pop_front();
     ++evictions_;
+    bump_cache_metric("evictions");
   }
 }
 

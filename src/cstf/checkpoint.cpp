@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/digest.hpp"
+#include "metrics/registry.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace cstf {
@@ -68,8 +69,19 @@ std::uint64_t digest_training_options(const FrameworkOptions& options) {
   return d.value();
 }
 
-void save_checkpoint(const TrainingCheckpoint& checkpoint,
-                     const std::string& path) {
+namespace {
+
+// checkpoint.saves/loads{result=ok|error}: counts the attempt outcome and
+// lets the exception propagate unchanged.
+void count_checkpoint_outcome(const char* op, bool ok) {
+  metrics::MetricsRegistry::global()
+      .counter(std::string("checkpoint.") + op,
+               {{"result", ok ? "ok" : "error"}})
+      ->inc();
+}
+
+void save_checkpoint_impl(const TrainingCheckpoint& checkpoint,
+                          const std::string& path) {
   const TrainerState& state = checkpoint.state;
   const std::string tmp = path + ".tmp";
   {
@@ -116,7 +128,7 @@ void save_checkpoint(const TrainingCheckpoint& checkpoint,
   commit_tmp_file(tmp, path);
 }
 
-TrainingCheckpoint load_checkpoint(const std::string& path) {
+TrainingCheckpoint load_checkpoint_impl(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     throw_model_io(ModelIoStatus::kOpenFailed, "cannot open " + path);
@@ -234,6 +246,30 @@ TrainingCheckpoint load_checkpoint(const std::string& path) {
     }
   }
   return checkpoint;
+}
+
+}  // namespace
+
+void save_checkpoint(const TrainingCheckpoint& checkpoint,
+                     const std::string& path) {
+  try {
+    save_checkpoint_impl(checkpoint, path);
+  } catch (...) {
+    count_checkpoint_outcome("saves", false);
+    throw;
+  }
+  count_checkpoint_outcome("saves", true);
+}
+
+TrainingCheckpoint load_checkpoint(const std::string& path) {
+  try {
+    TrainingCheckpoint checkpoint = load_checkpoint_impl(path);
+    count_checkpoint_outcome("loads", true);
+    return checkpoint;
+  } catch (...) {
+    count_checkpoint_outcome("loads", false);
+    throw;
+  }
 }
 
 }  // namespace cstf

@@ -1,8 +1,32 @@
 #include "exec/executor.hpp"
 
+#include "common/timer.hpp"
+#include "metrics/registry.hpp"
 #include "simgpu/trace.hpp"
 
 namespace cstf::exec {
+
+namespace {
+
+// One exec.op.duration{kind=...} histogram per OpKind, resolved lazily so
+// the per-op cost is one relaxed observe(). Indexed by the enum value;
+// kGeneric is last.
+metrics::Histogram* op_duration_histogram(OpKind kind) {
+  static const auto histograms = [] {
+    constexpr int kNumKinds = static_cast<int>(OpKind::kGeneric) + 1;
+    std::vector<metrics::Histogram*> h(kNumKinds);
+    for (int k = 0; k < kNumKinds; ++k) {
+      h[static_cast<std::size_t>(k)] =
+          metrics::MetricsRegistry::global().histogram(
+              "exec.op.duration",
+              {{"kind", op_kind_name(static_cast<OpKind>(k))}});
+    }
+    return h;
+  }();
+  return histograms[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
 
 Executor::Executor(simgpu::Device& dev, std::shared_ptr<const Plan> plan)
     : dev_(dev), plan_(std::move(plan)) {
@@ -35,6 +59,7 @@ void Executor::run(OpObserver* observer, const simgpu::Event* external) {
     {
       simgpu::ScopedPhase scope(op.phase.empty() ? nullptr : dev_.tracer(),
                                 op.phase);
+      Timer op_timer;
       if (op.fixed_s >= 0.0) {
         dev_.record_fixed(op.name, op.fixed_s, stream);
       } else if (op.run) {
@@ -42,6 +67,7 @@ void Executor::run(OpObserver* observer, const simgpu::Event* external) {
         op.run(ctx);
       }
       // A checkpoint barrier with no body is a pure structural marker.
+      op_duration_histogram(op.kind)->observe(op_timer.seconds());
     }
     if (observer != nullptr) observer->on_op_end(op, i);
 

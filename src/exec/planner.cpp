@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/timer.hpp"
+#include "metrics/registry.hpp"
 
 namespace cstf::exec {
 
@@ -476,6 +477,14 @@ Plan Planner::compile_fold_in(const FoldInSpec& spec) {
   g.add_op(std::move(solve));
 
   return Plan(std::move(g), {"default"});
+}
+
+void PlanCache::bump_metrics(bool hit) {
+  static metrics::Counter* hits =
+      metrics::MetricsRegistry::global().counter("exec.plan_cache.hits");
+  static metrics::Counter* misses =
+      metrics::MetricsRegistry::global().counter("exec.plan_cache.misses");
+  (hit ? hits : misses)->inc();
 }
 
 }  // namespace cstf::exec

@@ -142,9 +142,11 @@ class PlanCache {
   std::shared_ptr<const Plan> get(const PlanKey& key, const Build& build) {
     if (plan_ != nullptr && key == key_) {
       ++hits_;
+      bump_metrics(true);
       return plan_;
     }
     ++misses_;
+    bump_metrics(false);
     key_ = key;
     plan_ = std::make_shared<const Plan>(build());
     return plan_;
@@ -159,6 +161,10 @@ class PlanCache {
   std::int64_t misses() const { return misses_; }
 
  private:
+  /// Mirrors the hit/miss into the process-wide exec.plan_cache.* counters
+  /// (defined in planner.cpp; the per-cache counters above are untouched).
+  static void bump_metrics(bool hit);
+
   PlanKey key_{};
   std::shared_ptr<const Plan> plan_;
   std::int64_t hits_ = 0;

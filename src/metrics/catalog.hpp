@@ -1,0 +1,32 @@
+// Static metric catalog: the single source of truth for every instrument
+// name's type, label keys, unit, and help text. The registry consults it at
+// snapshot time to attach help/units, `cstf_info --metrics` prints it, and
+// docs/METRICS.md mirrors it — keeping the three in lockstep.
+//
+// A name missing from the catalog still registers and exports fine (the
+// registry is open), it just carries no help text; tests pin that every
+// instrument the codebase registers IS cataloged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "metrics/registry.hpp"
+
+namespace cstf::metrics {
+
+struct CatalogEntry {
+  const char* name;        ///< dotted instrument name
+  InstrumentType type;
+  const char* label_keys;  ///< comma-separated label keys, "" if none
+  const char* unit;        ///< "1" for dimensionless counts
+  const char* help;        ///< one-line meaning
+};
+
+/// Every instrument the codebase registers, sorted by name.
+const CatalogEntry* catalog_entries(std::size_t* count);
+
+/// nullptr if `name` is not cataloged.
+const CatalogEntry* find_catalog_entry(const std::string& name);
+
+}  // namespace cstf::metrics

@@ -1,0 +1,224 @@
+#include "metrics/exposition.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cstf::metrics {
+
+namespace {
+
+constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+
+// Dotted name -> Prometheus metric name: cstf_ prefix, dots to underscores.
+std::string prom_name(const std::string& name) {
+  std::string out = "cstf_";
+  for (char c : name) out += (c == '.') ? '_' : c;
+  return out;
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// {k="v",k2="v2"} or "" for no labels; extra_key/value appends one more
+// pair (for the histogram `le` label).
+std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (std::floor(v) == v && std::fabs(v) < kMaxExactInt) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  std::string last_name;
+  for (const auto& s : snap.instruments) {
+    const std::string pname = prom_name(s.name);
+    if (s.name != last_name) {
+      // HELP/TYPE once per metric family, even when labels fan it out
+      // into several series.
+      if (!s.help.empty()) os << "# HELP " << pname << ' ' << s.help << '\n';
+      os << "# TYPE " << pname << ' ' << instrument_type_name(s.type)
+         << '\n';
+      last_name = s.name;
+    }
+    if (s.type == InstrumentType::kHistogram) {
+      std::int64_t cumulative = 0;
+      for (std::size_t i = 0; i < s.histogram.bounds.size(); ++i) {
+        cumulative += s.histogram.counts[i];
+        os << pname << "_bucket"
+           << prom_labels(s.labels, "le", format_number(s.histogram.bounds[i]))
+           << ' ' << cumulative << '\n';
+      }
+      os << pname << "_bucket" << prom_labels(s.labels, "le", "+Inf") << ' '
+         << s.histogram.count << '\n';
+      os << pname << "_sum" << prom_labels(s.labels) << ' '
+         << format_number(s.histogram.sum) << '\n';
+      os << pname << "_count" << prom_labels(s.labels) << ' '
+         << s.histogram.count << '\n';
+    } else {
+      os << pname << prom_labels(s.labels) << ' ' << format_number(s.value)
+         << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& s : snap.instruments) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"type\":\""
+       << instrument_type_name(s.type) << '"';
+    if (!s.labels.empty()) {
+      os << ",\"labels\":{";
+      bool lf = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!lf) os << ',';
+        lf = false;
+        os << '"' << json_escape(k) << "\":\"" << json_escape(v) << '"';
+      }
+      os << '}';
+    }
+    if (!s.unit.empty()) os << ",\"unit\":\"" << json_escape(s.unit) << '"';
+    if (!s.help.empty()) os << ",\"help\":\"" << json_escape(s.help) << '"';
+    if (s.type == InstrumentType::kHistogram) {
+      os << ",\"count\":" << s.histogram.count
+         << ",\"sum\":" << format_number(s.histogram.sum) << ",\"bounds\":[";
+      for (std::size_t i = 0; i < s.histogram.bounds.size(); ++i) {
+        if (i) os << ',';
+        os << format_number(s.histogram.bounds[i]);
+      }
+      os << "],\"counts\":[";
+      for (std::size_t i = 0; i < s.histogram.counts.size(); ++i) {
+        if (i) os << ',';
+        os << s.histogram.counts[i];
+      }
+      os << "],\"p50\":" << format_number(histogram_quantile(s.histogram, 0.50))
+         << ",\"p95\":" << format_number(histogram_quantile(s.histogram, 0.95))
+         << ",\"p99\":" << format_number(histogram_quantile(s.histogram, 0.99));
+    } else {
+      os << ",\"value\":" << format_number(s.value);
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::vector<std::pair<std::string, double>> flatten(
+    const MetricsSnapshot& snap) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& s : snap.instruments) {
+    std::string key = s.name;
+    if (!s.labels.empty()) {
+      key += '{';
+      bool first = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first) key += ',';
+        first = false;
+        key += k;
+        key += '=';
+        key += v;
+      }
+      key += '}';
+    }
+    if (s.type == InstrumentType::kHistogram) {
+      out.emplace_back(key + ".count",
+                       static_cast<double>(s.histogram.count));
+      out.emplace_back(key + ".sum", s.histogram.sum);
+      out.emplace_back(key + ".p50", histogram_quantile(s.histogram, 0.50));
+      out.emplace_back(key + ".p95", histogram_quantile(s.histogram, 0.95));
+      out.emplace_back(key + ".p99", histogram_quantile(s.histogram, 0.99));
+    } else {
+      out.emplace_back(std::move(key), s.value);
+    }
+  }
+  return out;
+}
+
+void write_text_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    CSTF_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
+    os << text;
+    os.flush();
+    CSTF_CHECK_MSG(os.good(), "write to " << tmp << " failed");
+  }
+  CSTF_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "rename " << tmp << " -> " << path << " failed");
+}
+
+}  // namespace cstf::metrics

@@ -1,0 +1,40 @@
+// Exporters off a MetricsSnapshot. Both walk the same snapshot, so a
+// Prometheus dump and a JSON block taken from one snapshot always agree.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/registry.hpp"
+
+namespace cstf::metrics {
+
+/// Prometheus text exposition format (version 0.0.4). Dotted names become
+/// `cstf_`-prefixed underscore names ("serve.requests" ->
+/// "cstf_serve_requests"); histograms emit cumulative `_bucket{le=...}`
+/// series plus `_sum` and `_count`. Deterministic: instruments in snapshot
+/// order, integral values printed without a decimal point.
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Strict-JSON document: {"metrics": [{"name", "type", "labels", "unit",
+/// "help", and "value" or histogram fields}, ...]}. Parses with
+/// simgpu::json::parse; numbers formatted identically to the Prometheus
+/// exporter so cross-format comparisons are exact.
+std::string to_json(const MetricsSnapshot& snap);
+
+/// Scalar flattening for bench::JsonSession extras: one
+/// ("name{label=value}", value) pair per counter/gauge; histograms
+/// contribute name.count, name.sum, name.p50/p95/p99.
+std::vector<std::pair<std::string, double>> flatten(
+    const MetricsSnapshot& snap);
+
+/// Writes `text` to `path` atomically (tmp file in the same directory,
+/// then rename). Throws cstf::Error on I/O failure.
+void write_text_atomic(const std::string& path, const std::string& text);
+
+/// Shared number formatting: integral values (|v| < 2^53) print without a
+/// decimal point, everything else as %.17g — matching simgpu::json::number.
+std::string format_number(double v);
+
+}  // namespace cstf::metrics

@@ -1,0 +1,185 @@
+#include "metrics/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "metrics/catalog.hpp"
+
+namespace cstf::metrics {
+
+const char* instrument_type_name(InstrumentType type) {
+  switch (type) {
+    case InstrumentType::kCounter: return "counter";
+    case InstrumentType::kGauge: return "gauge";
+    case InstrumentType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::vector<double> default_latency_bounds() {
+  std::vector<double> bounds;
+  double b = 1e-6;
+  for (int i = 0; i < 24; ++i) {
+    bounds.push_back(b);
+    b *= 2.0;
+  }
+  return bounds;
+}
+
+std::vector<double> default_count_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 256.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  CSTF_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    CSTF_CHECK_MSG(bounds_[i] < bounds_[i + 1],
+                   "histogram bounds must be strictly increasing");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double histogram_quantile(const HistogramData& h, double q) {
+  if (h.count <= 0) return 0.0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  std::int64_t rank = static_cast<std::int64_t>(
+      std::ceil(clamped * static_cast<double>(h.count)));
+  if (rank < 1) rank = 1;
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    cumulative += h.counts[i];
+    if (cumulative >= rank) return h.bounds[i];
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: subsystems hold instrument pointers in objects with
+  // static storage duration, so the registry must outlive every static.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+std::string entry_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\0';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const Labels& labels, InstrumentType type) {
+  // Caller holds mu_.
+  auto [it, inserted] = entries_.try_emplace(entry_key(name, labels));
+  Entry& e = it->second;
+  if (inserted) {
+    e.name = name;
+    e.labels = labels;
+    e.type = type;
+  } else {
+    CSTF_CHECK_MSG(e.type == type,
+                   "metric '" << name << "' registered as "
+                              << instrument_type_name(e.type)
+                              << " and re-requested as "
+                              << instrument_type_name(type));
+  }
+  return e;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, labels, InstrumentType::kCounter);
+  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, labels, InstrumentType::kGauge);
+  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, labels, InstrumentType::kHistogram);
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return e.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.instruments.reserve(entries_.size());
+    for (const auto& [key, e] : entries_) {
+      InstrumentSnapshot s;
+      s.name = e.name;
+      s.labels = e.labels;
+      s.type = e.type;
+      if (const CatalogEntry* cat = find_catalog_entry(e.name)) {
+        s.help = cat->help;
+        s.unit = cat->unit;
+      }
+      switch (e.type) {
+        case InstrumentType::kCounter:
+          s.value = e.counter->value();
+          break;
+        case InstrumentType::kGauge:
+          s.value = e.gauge->value();
+          break;
+        case InstrumentType::kHistogram:
+          s.histogram.bounds = e.histogram->bounds();
+          s.histogram.counts = e.histogram->bucket_counts();
+          s.histogram.count = e.histogram->count();
+          s.histogram.sum = e.histogram->sum();
+          break;
+      }
+      snap.instruments.push_back(std::move(s));
+    }
+  }
+  // The map iterates in key order (name, then label serialization), which
+  // is already the deterministic exposition order.
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace cstf::metrics

@@ -1,0 +1,207 @@
+// Process-wide metrics registry: typed instruments under dotted names.
+//
+// After nine PRs the operational signals were fragmented — simgpu kernel
+// counters, serve reliability/latency recorders, and four separate cache
+// hit/miss sets each with bespoke structs and ad-hoc printing. This layer
+// unifies them behind one registry with a standard exposition surface, so a
+// single `snapshot()` answers "what is this process doing right now":
+//
+//   * `Counter`   — monotonic cumulative total (requests served, bytes
+//                   moved, cache hits). Double-valued so kernel byte/flop
+//                   totals fit; increments of integral deltas sum exactly
+//                   up to 2^53.
+//   * `Gauge`     — a value that goes up and down (queue depth).
+//   * `Histogram` — fixed upper-bound buckets (log-spaced for latencies)
+//                   plus an exact observation count and sum. Quantiles are
+//                   derived from the buckets at read time — the registry
+//                   never stores samples.
+//
+// Instruments are registered under dotted names ("serve.requests") with
+// optional key=value labels ({outcome="shed"}); help text and units come
+// from the static catalog (catalog.hpp), so `cstf_info --metrics` and
+// docs/METRICS.md share one source of truth.
+//
+// Concurrency contract: the registry mutex is taken only at registration
+// and snapshot time. Every instrument operation on the hot path is a single
+// relaxed atomic (per-bucket atomics for histograms), so metering a kernel
+// launch or a request costs a few uncontended atomic adds. Instrument
+// pointers returned by the registry stay valid for the registry's lifetime;
+// the process-wide registry (`MetricsRegistry::global()`) lives until exit.
+//
+// Exposition (exposition.hpp): Prometheus text format and a strict-JSON
+// document off the same `MetricsSnapshot`, which is an isolated copy —
+// mutating instruments after `snapshot()` does not change it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cstf::metrics {
+
+enum class InstrumentType { kCounter, kGauge, kHistogram };
+
+/// Display name ("counter", "gauge", "histogram").
+const char* instrument_type_name(InstrumentType type);
+
+/// Instrument labels: ordered key=value pairs. Order is part of the
+/// identity ({a=1,b=2} and {b=2,a=1} are distinct registrations — callers
+/// use one canonical order per instrument, which every call site in this
+/// repository does by construction).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic cumulative total. inc() with a negative delta is ignored (a
+/// counter never goes down); sync_to() ratchets the counter up to an
+/// externally-accumulated cumulative value — the bridge for pre-existing
+/// counter structs (Device totals, cache hit counts) that keep their own
+/// storage and are mirrored into the registry at collection points.
+class Counter {
+ public:
+  void inc(double delta = 1.0) {
+    if (!(delta > 0.0)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Sets the counter to `cumulative` if that is larger than the current
+  /// value; never decreases. Safe to call repeatedly (periodic dumps).
+  void sync_to(double cumulative) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cumulative > cur &&
+           !value_.compare_exchange_weak(cur, cumulative,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A value that can go up and down (queue depth, resident bytes).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-spaced latency bounds: 1 us doubling up to ~8.4 s (24 buckets plus
+/// the implicit overflow bucket). The default for every *.latency and
+/// *.duration histogram in the catalog.
+std::vector<double> default_latency_bounds();
+
+/// Power-of-two count bounds 1, 2, 4, ..., 256 (batch sizes, fan-outs).
+std::vector<double> default_count_bounds();
+
+/// Fixed-bucket histogram: observation v lands in the first bucket whose
+/// upper bound satisfies v <= bound (Prometheus `le` semantics); anything
+/// above the last bound lands in the overflow bucket. Exact atomic count
+/// and sum ride along.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Per-bucket (non-cumulative) counts, one per bound plus the overflow
+  /// bucket at the end.
+  std::vector<std::int64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds + overflow
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::int64_t> counts;  ///< per bucket, overflow last
+  std::int64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Nearest-rank quantile derived from the buckets: the upper bound of the
+/// bucket containing the rank — an upper bound on the exact sample quantile
+/// with one-bucket resolution (the derived value is >= the exact quantile
+/// and <= the next bucket bound). Returns 0 with no observations; ranks
+/// landing in the overflow bucket return the last finite bound.
+double histogram_quantile(const HistogramData& h, double q);
+
+/// Point-in-time copy of one instrument.
+struct InstrumentSnapshot {
+  std::string name;
+  Labels labels;
+  InstrumentType type = InstrumentType::kCounter;
+  std::string help;   ///< from the catalog; empty for uncataloged names
+  std::string unit;   ///< from the catalog
+  double value = 0.0;  ///< counter / gauge
+  HistogramData histogram;
+};
+
+/// An isolated copy of every registered instrument, sorted by (name,
+/// labels) so exposition output is deterministic.
+struct MetricsSnapshot {
+  std::vector<InstrumentSnapshot> instruments;
+};
+
+/// The registry. Instrument getters register on first use and return the
+/// existing instrument on every subsequent call with the same (name,
+/// labels); a type mismatch between two registrations of the same key
+/// throws. Returned pointers stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem meters into. Constructed on
+  /// first use, never destroyed before exit.
+  static MetricsRegistry& global();
+
+  Counter* counter(const std::string& name, const Labels& labels = {});
+  Gauge* gauge(const std::string& name, const Labels& labels = {});
+
+  /// `bounds` applies only to the first registration of the key; later
+  /// calls return the existing histogram regardless.
+  Histogram* histogram(const std::string& name, const Labels& labels = {},
+                       std::vector<double> bounds = default_latency_bounds());
+
+  MetricsSnapshot snapshot() const;
+
+  /// Number of registered instruments (for tests).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    InstrumentType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const Labels& labels,
+                        InstrumentType type);
+
+  mutable std::mutex mu_;
+  // Key: name + '\0' + canonical label serialization (registration order).
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace cstf::metrics

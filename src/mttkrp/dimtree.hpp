@@ -206,7 +206,7 @@ class DimTreeEngine {
   int level_ = 0;
   std::vector<Fingerprint> fps_;
 
-  ScatterPlanCache plans_;
+  ScatterPlanCache plans_{"dimtree"};
 };
 
 /// Picks tree-vs-flat for one (tensor shape, rank) on `spec` by modeling a

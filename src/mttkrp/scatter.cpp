@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/radix_sort.hpp"
+#include "metrics/registry.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace cstf {
@@ -16,6 +17,14 @@ namespace {
 constexpr double kSortedContentionThreshold = 8.0;
 
 }  // namespace
+
+void ScatterPlanCache::bump_metrics(bool hit) const {
+  auto& reg = metrics::MetricsRegistry::global();
+  const metrics::Labels labels = {{"engine", engine_}};
+  (hit ? reg.counter("mttkrp.scatter_cache.hits", labels)
+       : reg.counter("mttkrp.scatter_cache.misses", labels))
+      ->inc();
+}
 
 const char* scatter_strategy_name(ScatterStrategy strategy) {
   switch (strategy) {

@@ -237,6 +237,11 @@ FoldInBatcher::FoldInBatcher(FoldInEngine& engine, ModelStore& store,
     : engine_(engine), store_(store), model_name_(std::move(model_name)),
       options_(options) {
   CSTF_CHECK_MSG(options_.max_batch > 0, "fold-in batcher: max_batch == 0");
+  auto& reg = metrics::MetricsRegistry::global();
+  m_queue_depth_ = reg.gauge("serve.batcher.queue_depth");
+  latency_.attach(reg.histogram("serve.fold_in.latency"));
+  batch_sizes_.attach(reg.histogram("serve.batch.size", {},
+                                    metrics::default_count_bounds()));
   if (options_.background) {
     collector_ = std::thread([this] { collector_loop(); });
   }
@@ -270,6 +275,7 @@ std::future<FoldInResult> FoldInBatcher::submit(FoldInRequest req) {
       return future;
     }
     queue_.push_back(std::move(pending));
+    publish_queue_depth();
   }
   cv_.notify_all();
   return future;
@@ -289,6 +295,7 @@ std::size_t FoldInBatcher::flush() {
       }
       queue_.erase(queue_.begin(),
                    queue_.begin() + static_cast<std::ptrdiff_t>(take));
+      publish_queue_depth();
     }
     served += drain_and_solve(std::move(batch));
   }
@@ -309,11 +316,16 @@ void FoldInBatcher::stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     orphaned.swap(queue_);
+    publish_queue_depth();
   }
   for (Pending& p : orphaned) {
     p.promise.set_exception(std::make_exception_ptr(
         Error("fold-in batcher stopped before serving the request")));
   }
+}
+
+void FoldInBatcher::publish_queue_depth() {
+  m_queue_depth_->set(static_cast<double>(queue_.size()));
 }
 
 void FoldInBatcher::collector_loop() {
@@ -338,6 +350,7 @@ void FoldInBatcher::collector_loop() {
     }
     queue_.erase(queue_.begin(),
                  queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    publish_queue_depth();
     lock.unlock();
     drain_and_solve(std::move(batch));
     lock.lock();

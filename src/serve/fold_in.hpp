@@ -260,6 +260,9 @@ class FoldInBatcher {
 
   void collector_loop();
   std::size_t drain_and_solve(std::vector<Pending> batch);
+  /// Publishes queue_.size() to the serve.batcher.queue_depth gauge.
+  /// Call with mu_ held, right after any queue_ mutation.
+  void publish_queue_depth();
   std::vector<FoldInResult> solve_with_retries(
       const ServableModel& model, const std::vector<FoldInRequest>& group);
 
@@ -283,6 +286,7 @@ class FoldInBatcher {
   LatencyRecorder latency_;
   BatchSizeRecorder batch_sizes_;
   ReliabilityCounters reliability_;
+  metrics::Gauge* m_queue_depth_ = nullptr;  // registry-owned (see ctor)
 };
 
 }  // namespace cstf::serve

@@ -26,7 +26,10 @@ struct ScoredEntry {
 
 class QueryEngine {
  public:
-  explicit QueryEngine(ServeRuntime& runtime) : runtime_(runtime) {}
+  explicit QueryEngine(ServeRuntime& runtime) : runtime_(runtime) {
+    latency_.attach(
+        metrics::MetricsRegistry::global().histogram("serve.query.latency"));
+  }
 
   /// Batched entry reconstruction. `coords` holds `batch` coordinate tuples,
   /// row-major (query b's mode-m index at coords[b * num_modes + m]); every

@@ -22,6 +22,7 @@ double sorted_quantile(const std::vector<double>& sorted, double q) {
 void LatencyRecorder::record(double seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   samples_.push_back(seconds);
+  if (mirror_ != nullptr) mirror_->observe(seconds);
 }
 
 LatencySummary LatencyRecorder::summary() const {
@@ -64,11 +65,17 @@ void LatencyRecorder::clear() {
   samples_.clear();
 }
 
+void LatencyRecorder::attach(metrics::Histogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mirror_ = h;
+}
+
 void BatchSizeRecorder::record(std::int64_t batch_size) {
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_[batch_size];
   ++batches_;
   requests_ += batch_size;
+  if (mirror_ != nullptr) mirror_->observe(static_cast<double>(batch_size));
 }
 
 std::map<std::int64_t, std::int64_t> BatchSizeRecorder::histogram() const {
@@ -98,6 +105,26 @@ void BatchSizeRecorder::clear() {
   counts_.clear();
   batches_ = 0;
   requests_ = 0;
+}
+
+void BatchSizeRecorder::attach(metrics::Histogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mirror_ = h;
+}
+
+void export_reliability(const ReliabilitySnapshot& s) {
+  auto& reg = metrics::MetricsRegistry::global();
+  const auto sync = [&reg](const char* outcome, std::int64_t v) {
+    reg.counter("serve.requests", {{"outcome", outcome}})
+        ->sync_to(static_cast<double>(v));
+  };
+  sync("submitted", s.submitted);
+  sync("served", s.served);
+  sync("shed", s.shed);
+  sync("timed_out", s.timed_out);
+  sync("retried", s.retries);
+  sync("degraded", s.degraded);
+  sync("failed", s.failed);
 }
 
 }  // namespace cstf::serve

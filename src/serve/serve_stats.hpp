@@ -15,6 +15,8 @@
 #include <mutex>
 #include <vector>
 
+#include "metrics/registry.hpp"
+
 namespace cstf::serve {
 
 /// A point-in-time copy of ReliabilityCounters (plain integers, safe to
@@ -78,21 +80,33 @@ struct LatencySummary {
 
 /// Exact latency recorder. record() is called once per request from any
 /// thread; summary() sorts a copy of the samples (nearest-rank quantiles).
+///
+/// Quantiles are well-defined on every edge, no call-site guards needed:
+/// with no samples quantile() and every LatencySummary percentile are 0;
+/// with one sample every quantile IS that sample.
 class LatencyRecorder {
  public:
   void record(double seconds);
 
   LatencySummary summary() const;
 
-  /// Nearest-rank quantile, q in [0, 1]. 0 with no samples.
+  /// Nearest-rank quantile; q is clamped to [0, 1]. 0 with no samples,
+  /// the sample with one.
   double quantile(double q) const;
 
   std::int64_t count() const;
   void clear();
 
+  /// Mirrors every subsequent record() into `h` (a registry latency
+  /// histogram), from which bucket-derived quantiles approximate the exact
+  /// ones here. nullptr detaches; `h` must outlive the recorder or be
+  /// detached first (registry instruments live until process exit).
+  void attach(metrics::Histogram* h);
+
  private:
   mutable std::mutex mu_;
   std::vector<double> samples_;
+  metrics::Histogram* mirror_ = nullptr;  // not owned
 };
 
 /// Distribution of realized batch sizes (how well the batcher coalesces).
@@ -111,11 +125,22 @@ class BatchSizeRecorder {
 
   void clear();
 
+  /// Mirrors every subsequent record() into `h` (a registry count-bounds
+  /// histogram). nullptr detaches.
+  void attach(metrics::Histogram* h);
+
  private:
   mutable std::mutex mu_;
   std::map<std::int64_t, std::int64_t> counts_;
   std::int64_t batches_ = 0;
   std::int64_t requests_ = 0;
+  metrics::Histogram* mirror_ = nullptr;  // not owned
 };
+
+/// Ratchets the serve.requests{outcome=...} registry counters up to `s`
+/// (submitted|served|shed|timed_out|retried|degraded|failed). Call with the
+/// same snapshot that feeds a JSON reliability block and the two agree
+/// exactly. Safe to call repeatedly — counters only move up.
+void export_reliability(const ReliabilitySnapshot& s);
 
 }  // namespace cstf::serve

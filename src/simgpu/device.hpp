@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "metrics/registry.hpp"
 #include "simgpu/cost_model.hpp"
 #include "simgpu/counters.hpp"
 #include "simgpu/device_spec.hpp"
@@ -29,7 +30,17 @@ namespace cstf::simgpu {
 /// identically to the pre-stream implementation.
 class Device {
  public:
-  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {
+    // Resolved once here so record() pays only relaxed atomic adds; the
+    // registry mirrors are process-cumulative and do NOT reset() with the
+    // device's own KernelStats window.
+    const metrics::Labels labels = {{"device", spec_.name}};
+    auto& reg = metrics::MetricsRegistry::global();
+    m_launches_ = reg.counter("simgpu.kernel.launches", labels);
+    m_flops_ = reg.counter("simgpu.kernel.flops", labels);
+    m_bytes_ = reg.counter("simgpu.kernel.bytes", labels);
+    m_atomics_ = reg.counter("simgpu.kernel.atomic_ops", labels);
+  }
 
   const DeviceSpec& spec() const { return spec_; }
 
@@ -51,6 +62,10 @@ class Device {
     }
     per_kernel_[kernel_name] += stats;
     total_ += stats;
+    m_launches_->inc(static_cast<double>(stats.launches));
+    m_flops_->inc(stats.flops);
+    m_bytes_->inc(stats.total_bytes());
+    m_atomics_->inc(stats.atomic_ops);
     const std::int64_t idx = timeline_.add_span(stream, kernel_name, stats);
     if (tracer_ != nullptr) {
       tracer_->add_span(kernel_name, stats, wall_s,
@@ -163,6 +178,11 @@ class Device {
   Timeline timeline_;
   Tracer* tracer_ = nullptr;          // not owned; optional
   FaultPlan* fault_plan_ = nullptr;   // not owned; optional
+  // Registry-owned, valid for the process lifetime (see ctor).
+  metrics::Counter* m_launches_ = nullptr;
+  metrics::Counter* m_flops_ = nullptr;
+  metrics::Counter* m_bytes_ = nullptr;
+  metrics::Counter* m_atomics_ = nullptr;
 };
 
 }  // namespace cstf::simgpu

@@ -47,6 +47,9 @@
 //   --trace FILE        write a chrome://tracing JSON timeline of every
 //                       kernel launch and phase (open in chrome://tracing or
 //                       https://ui.perfetto.dev)
+//   --metrics-out FILE  dump the process metrics registry (kernel totals,
+//                       cache hit/miss counters, op-duration histograms) in
+//                       Prometheus text format after the run
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +58,8 @@
 #include <string>
 
 #include "cstf/framework.hpp"
+#include "metrics/exposition.hpp"
+#include "metrics/registry.hpp"
 #include "serve/model_io.hpp"
 #include "simgpu/trace.hpp"
 #include "tensor/datasets.hpp"
@@ -82,7 +87,8 @@ using namespace cstf;
                " [--output PREFIX]\n"
                "                [--checkpoint-every N --checkpoint-path P]"
                " [--resume P]\n"
-               "                [--profile] [--trace FILE]\n");
+               "                [--profile] [--trace FILE]"
+               " [--metrics-out FILE]\n");
   std::exit(2);
 }
 
@@ -140,7 +146,7 @@ void write_matrix(const Matrix& m, const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string input, dataset, output, checkpoint, trace_path;
-  std::string save_path, model_name;
+  std::string save_path, model_name, metrics_path;
   bool profile = false;
   FrameworkOptions options;
   options.rank = 16;
@@ -203,6 +209,7 @@ int main(int argc, char** argv) {
     else if (arg == "--profile") profile = true;
     else if (arg == "--trace") trace_path = value();
     else if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
+    else if (arg == "--metrics-out") metrics_path = value();
     else if (arg == "--help" || arg == "-h") usage(nullptr);
     else usage(("unknown argument: " + arg).c_str());
   }
@@ -303,6 +310,12 @@ int main(int argc, char** argv) {
       serve::save_model(saved, save_path);
       std::printf("serving model '%s' written to %s\n",
                   saved.meta.name.c_str(), save_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      metrics::write_text_atomic(
+          metrics_path, metrics::to_prometheus(
+                            metrics::MetricsRegistry::global().snapshot()));
+      std::printf("metrics written to %s\n", metrics_path.c_str());
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "cstf_cli: %s\n", e.what());

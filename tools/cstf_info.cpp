@@ -16,6 +16,10 @@
 // CstfFramework::device_footprint_bytes() reports. When the dimension-tree
 // engine is in effect the dump is followed by the chosen tree: node shapes,
 // reuse factor, and intermediate bytes against the budget (DESIGN.md §13).
+//
+// With --metrics (standalone, no tensor needed), prints the process metrics
+// catalog: every instrument the codebase registers, with type, labels,
+// unit, and help text (the same catalog docs/METRICS.md documents).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +30,7 @@
 #include "formats/alto.hpp"
 #include "formats/blco.hpp"
 #include "formats/csf.hpp"
+#include "metrics/catalog.hpp"
 #include "mttkrp/scatter.hpp"
 #include "tensor/datasets.hpp"
 #include "tensor/io.hpp"
@@ -38,8 +43,22 @@ using namespace cstf;
   std::fprintf(stderr,
                "usage: cstf_info (--input FILE.tns | --dataset NAME) "
                "[--rank N] [--plan] [--pipeline] "
-               "[--mttkrp auto|flat|dimtree]\n");
+               "[--mttkrp auto|flat|dimtree]\n"
+               "       cstf_info --metrics\n");
   std::exit(2);
+}
+
+void print_metrics_catalog() {
+  std::size_t count = 0;
+  const metrics::CatalogEntry* entries = metrics::catalog_entries(&count);
+  std::printf("%-32s %-10s %-8s %-8s %s\n", "name", "type", "labels", "unit",
+              "help");
+  for (std::size_t i = 0; i < count; ++i) {
+    const metrics::CatalogEntry& e = entries[i];
+    std::printf("%-32s %-10s %-8s %-8s %s\n", e.name,
+                metrics::instrument_type_name(e.type),
+                e.label_keys[0] != '\0' ? e.label_keys : "-", e.unit, e.help);
+  }
 }
 
 }  // namespace
@@ -49,6 +68,7 @@ int main(int argc, char** argv) {
   index_t rank = 32;
   bool show_plan = false;
   bool pipeline = false;
+  bool show_metrics = false;
   MttkrpMode mttkrp_mode = MttkrpMode::kAuto;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -61,10 +81,15 @@ int main(int argc, char** argv) {
     else if (arg == "--rank") rank = std::atoll(value().c_str());
     else if (arg == "--plan") show_plan = true;
     else if (arg == "--pipeline") pipeline = true;
+    else if (arg == "--metrics") show_metrics = true;
     else if (arg == "--mttkrp") {
       if (!parse_mttkrp_mode(value(), &mttkrp_mode)) usage();
     }
     else usage();
+  }
+  if (show_metrics && input.empty() && dataset.empty()) {
+    print_metrics_catalog();
+    return 0;
   }
   if (input.empty() == dataset.empty()) usage();
 
@@ -171,6 +196,10 @@ int main(int argc, char** argv) {
                     static_cast<long long>(tree->scatter_plans().hits()),
                     static_cast<long long>(tree->scatter_plans().misses()));
       }
+    }
+    if (show_metrics) {
+      std::printf("\n");
+      print_metrics_catalog();
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "cstf_info: %s\n", e.what());

@@ -22,6 +22,9 @@
 //   --seed N         workload (and --dataset factorization) seed (42)
 //   --trace FILE     chrome://tracing timeline of the serving kernels
 //   --json FILE      machine-readable latency/batch telemetry
+//   --metrics-out F  Prometheus text exposition of the process metrics
+//                    registry, dumped periodically during the workload and
+//                    once at the end (atomic tmp+rename each time)
 //
 // Reliability options (chaos testing, see DESIGN.md §11):
 //   --fault-plan S   inject faults into the serving device, e.g.
@@ -51,9 +54,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -62,6 +67,8 @@
 #include "autotune/tuning.hpp"
 #include "common/digest.hpp"
 #include "cstf/framework.hpp"
+#include "metrics/exposition.hpp"
+#include "metrics/registry.hpp"
 #include "serve/fold_in.hpp"
 #include "serve/model_store.hpp"
 #include "serve/query_engine.hpp"
@@ -88,7 +95,8 @@ using namespace cstf;
                "                  [--deadline S] [--max-queue N]\n"
                "                  [--tune model|cached|measure]"
                " [--tuning-cache FILE]\n"
-               "                  [--seed N] [--trace FILE] [--json FILE]\n");
+               "                  [--seed N] [--trace FILE] [--json FILE]\n"
+               "                  [--metrics-out FILE]\n");
   std::exit(2);
 }
 
@@ -143,10 +151,53 @@ std::string latency_json(const serve::LatencySummary& s) {
          ",\"max_s\":" + number(s.max_s) + "}";
 }
 
+/// Background dumper for --metrics-out: rewrites `path` (atomically) every
+/// ~250 ms while the workload runs. The final authoritative dump happens on
+/// the main thread after export_reliability(), not here.
+class PeriodicMetricsDumper {
+ public:
+  explicit PeriodicMetricsDumper(std::string path) : path_(std::move(path)) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~PeriodicMetricsDumper() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+      lock.unlock();
+      metrics::write_text_atomic(
+          path_, metrics::to_prometheus(
+                     metrics::MetricsRegistry::global().snapshot()));
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(250),
+                   [this] { return stopping_; });
+    }
+  }
+
+  std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string model_path, dataset, save_path, trace_path, json_path;
+  std::string metrics_path;
   index_t rank = 8;
   int iters = 5;
   int requests = 200;
@@ -205,6 +256,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--trace") trace_path = value();
     else if (arg == "--json") json_path = value();
+    else if (arg == "--metrics-out") metrics_path = value();
     else if (arg == "--help" || arg == "-h") usage(nullptr);
     else usage(("unknown argument: " + arg).c_str());
   }
@@ -315,6 +367,11 @@ int main(int argc, char** argv) {
 
     serve::FoldInBatcher batcher(fold_engine, store, model->meta().name,
                                  batcher_options);
+
+    // Periodic metrics exposition while the workload runs; the final dump
+    // below (after export_reliability) is the authoritative one.
+    std::optional<PeriodicMetricsDumper> metrics_dumper;
+    if (!metrics_path.empty()) metrics_dumper.emplace(metrics_path);
 
     // Open-loop workload: each client issues its share of requests, holding
     // fold-in futures until the end so concurrent arrivals can coalesce.
@@ -514,6 +571,19 @@ int main(int argc, char** argv) {
     }
     std::printf("worst fold-in primal residual: %.3e\n", worst);
     const serve::ReliabilitySnapshot rel = batcher.reliability().snapshot();
+    // Ratchet the registry to this exact snapshot, then capture the
+    // snapshot every metrics surface below (final --metrics-out dump, JSON
+    // "metrics" block) is rendered from — the serve.requests counters and
+    // the JSON reliability block agree by construction.
+    serve::export_reliability(rel);
+    const metrics::MetricsSnapshot metrics_snap =
+        metrics::MetricsRegistry::global().snapshot();
+    if (metrics_dumper.has_value()) {
+      metrics_dumper->stop();
+      metrics::write_text_atomic(metrics_path,
+                                 metrics::to_prometheus(metrics_snap));
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
     if (fault_plan.active() || rel.shed + rel.timed_out + rel.retries +
                                        rel.degraded + rel.failed !=
                                    0) {
@@ -573,7 +643,9 @@ int main(int argc, char** argv) {
                         ",\"failures\":" +
                         number(static_cast<double>(failures.load())) + "}" +
                         ",\n  \"modeled_s\": " +
-                        number(device.modeled_time_s()) + "\n}\n";
+                        number(device.modeled_time_s()) +
+                        ",\n  \"metrics\": " + metrics::to_json(metrics_snap) +
+                        "\n}\n";
       std::ofstream out(json_path);
       CSTF_CHECK_MSG(out.good(), "cannot write " << json_path);
       out << doc;
